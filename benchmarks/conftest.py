@@ -1,0 +1,40 @@
+"""Shared fixtures for the experiment-reproduction benchmarks.
+
+These benchmarks regenerate the paper's Table I and Figures 3-5.  The
+full-fidelity toolflow (thread sweep 1..32, 5 DSE repetitions,
+leave-one-out COBAYN training) is session-scoped and built lazily per
+application.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.toolflow import SocratesToolflow
+from repro.polybench.suite import all_apps, load
+
+
+@pytest.fixture(scope="session")
+def full_toolflow():
+    return SocratesToolflow(dse_repetitions=5)
+
+
+class _ResultCache:
+    def __init__(self, toolflow: SocratesToolflow) -> None:
+        self._toolflow = toolflow
+        self._results = {}
+
+    def build(self, name: str):
+        if name not in self._results:
+            self._results[name] = self._toolflow.build(load(name))
+        return self._results[name]
+
+
+@pytest.fixture(scope="session")
+def results(full_toolflow):
+    return _ResultCache(full_toolflow)
+
+
+@pytest.fixture(scope="session")
+def apps():
+    return all_apps()

@@ -1,0 +1,126 @@
+"""Component performance benchmarks (tooling speed, not paper results).
+
+These time the reproduction's own hot paths with pytest-benchmark's
+statistical repetition: the C frontend, the weaver, the analytical
+compiler + machine model, the AS-RTM decision, and Bayesian-network
+inference.  They guard against performance regressions that would make
+the experiment harnesses (full-factorial DSE = tens of thousands of
+model evaluations) impractically slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cir import parse, to_source
+from repro.gcc.compiler import Compiler
+from repro.gcc.flags import FlagConfiguration, OptLevel, standard_levels
+from repro.lara.metrics import weave_benchmark
+from repro.machine.executor import MachineExecutor
+from repro.machine.openmp import BindingPolicy, OpenMPRuntime
+from repro.machine.topology import default_machine
+from repro.margot.asrtm import ApplicationRuntimeManager
+from repro.margot.state import OptimizationState, minimize_time
+from repro.polybench.suite import load
+from repro.polybench.workload import profile_kernel
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return default_machine()
+
+
+@pytest.fixture(scope="module")
+def source_2mm():
+    return load("2mm").source
+
+
+def test_perf_parser(benchmark, source_2mm):
+    unit = benchmark(parse, source_2mm)
+    assert unit.has_function("kernel_2mm")
+
+
+def test_perf_printer(benchmark, source_2mm):
+    unit = parse(source_2mm)
+    text = benchmark(to_source, unit)
+    assert "kernel_2mm" in text
+
+
+def test_perf_workload_profile(benchmark):
+    app = load("2mm")
+    profile = benchmark(profile_kernel, app)
+    assert profile.flops > 0
+
+
+def test_perf_weave(benchmark):
+    app = load("mvt")
+    configs = standard_levels()
+    report, _ = benchmark(weave_benchmark, app, configs)
+    assert report.weaved_loc > report.original_loc
+
+
+def test_perf_compile(benchmark):
+    profile = profile_kernel(load("2mm"))
+    compiler = Compiler()
+    config = FlagConfiguration(OptLevel.O3)
+
+    def compile_uncached():
+        compiler._cache.clear()
+        return compiler.compile(profile, config)
+
+    kernel = benchmark(compile_uncached)
+    assert kernel.total_cycles > 0
+
+
+def test_perf_machine_evaluate(benchmark, machine):
+    compiled = Compiler().compile(profile_kernel(load("2mm")), FlagConfiguration(OptLevel.O2))
+    omp = OpenMPRuntime(machine)
+    executor = MachineExecutor(machine)
+    placement = omp.place(16, BindingPolicy.CLOSE)
+    result = benchmark(executor.evaluate, compiled, placement)
+    assert result.time_s > 0
+
+
+def test_perf_asrtm_update(benchmark, machine):
+    """One mARGOt decision over a 512-point knowledge base — the cost
+    the weaved update() call pays per kernel invocation."""
+    from repro.dse.explorer import DesignSpace, DesignSpaceExplorer
+
+    omp = OpenMPRuntime(machine)
+    explorer = DesignSpaceExplorer(Compiler(), MachineExecutor(machine), omp, repetitions=1)
+    space = DesignSpace(compiler_configs=standard_levels(), thread_counts=list(range(1, 33)))
+    knowledge = explorer.explore(profile_kernel(load("2mm")), space).knowledge
+    asrtm = ApplicationRuntimeManager(knowledge)
+    asrtm.add_state(OptimizationState("perf", rank=minimize_time()))
+    point = benchmark(asrtm.update)
+    assert point.metric("time").mean > 0
+
+
+def test_perf_bn_posterior(benchmark):
+    """One COBAYN posterior over the 128-combo space."""
+    import numpy as np
+
+    from repro.cobayn.bn import DiscreteBayesianNetwork, NodeSpec
+    from repro.cobayn.corpus import flag_assignment
+    from repro.gcc.flags import cobayn_space
+
+    nodes = [NodeSpec(f"ft{i}", 3) for i in range(4)]
+    nodes.append(NodeSpec("level", 2))
+    from repro.gcc.flags import ALL_FLAGS
+
+    nodes.extend(NodeSpec(flag.value, 2) for flag in ALL_FLAGS)
+    network = DiscreteBayesianNetwork(nodes)
+    rng = np.random.default_rng(0)
+    rows = []
+    for _ in range(150):
+        row = {f"ft{i}": int(rng.integers(3)) for i in range(4)}
+        row["level"] = int(rng.integers(2))
+        for flag in ALL_FLAGS:
+            row[flag.value] = int(rng.integers(2))
+        rows.append(row)
+    network.fit(rows)
+    evidence = {f"ft{i}": 1 for i in range(4)}
+    query = flag_assignment(cobayn_space()[77])
+
+    probability = benchmark(network.posterior, query, evidence)
+    assert 0.0 <= probability <= 1.0

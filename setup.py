@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs on offline machines.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs fail; with this shim ``pip install -e .``
+falls back to ``setup.py develop`` which works offline.
+"""
+
+from setuptools import setup
+
+setup()

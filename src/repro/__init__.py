@@ -1,0 +1,51 @@
+"""SOCRATES reproduction: seamless online compiler and system runtime
+autotuning for energy-aware applications (DATE 2018).
+
+Quickstart::
+
+    from repro import SocratesToolflow, load_benchmark
+
+    flow = SocratesToolflow()
+    result = flow.build(load_benchmark("2mm"))
+    app = result.adaptive             # the adaptive application
+    app.add_state(...)                # define requirements
+    record = app.run_once()           # autotuned execution
+
+Package map (see DESIGN.md for the full inventory):
+
+==================  =====================================================
+``repro.core``      the SOCRATES toolflow and adaptive application
+``repro.cir``       C-subset parser / AST / printer / analyses
+``repro.lara``      aspect weaving (Multiversioning, Autotuner, Table I)
+``repro.milepost``  static code-feature extraction
+``repro.cobayn``    Bayesian-network compiler autotuning
+``repro.gcc``       flag space + analytical compiler model
+``repro.machine``   simulated 2-socket NUMA platform (OpenMP, power)
+``repro.margot``    the mARGOt dynamic autotuner
+``repro.polybench`` the twelve benchmark applications
+``repro.dse``       design-space exploration and Pareto tools
+==================  =====================================================
+"""
+
+from repro.core import (
+    AdaptiveApplication,
+    Phase,
+    Scenario,
+    SocratesToolflow,
+    ToolflowResult,
+)
+from repro.polybench.suite import BENCHMARK_NAMES, all_apps, load as load_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveApplication",
+    "BENCHMARK_NAMES",
+    "Phase",
+    "Scenario",
+    "SocratesToolflow",
+    "ToolflowResult",
+    "all_apps",
+    "load_benchmark",
+    "__version__",
+]

@@ -1,0 +1,605 @@
+"""A tree-walking interpreter for the CIR C subset.
+
+Why interpret C in a simulator-based reproduction?  Because it closes
+the loop the machine model cannot: the *functional* correctness of the
+woven code.  With the interpreter we can
+
+* execute an original benchmark source (at a small dataset) and check
+  its output against the numpy reference implementation;
+* execute the **weaved adaptive source together with the generated
+  ``margot.h``** and verify that the wrapper dispatch, the version
+  clones and the C-level ``margot_update`` reproduce exactly what the
+  Python toolchain computed.
+
+Supported semantics: ints (C truncating division/modulo) and doubles,
+multi-dimensional arrays (numpy-backed), pointers to scalars
+(``&x`` / ``*p``), all CIR statements, calls with by-reference arrays,
+and a small intrinsic library (math functions, ``fprintf``/``printf``
+capture, a virtual ``omp_get_wtime`` clock).  OpenMP and GCC pragmas
+are semantic no-ops, exactly as a single-threaded execution of the
+pragma-annotated code.
+
+Dataset macros can be overridden (``macro_overrides={"N": 8}``) so the
+LARGE-configured sources run in milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cir import ast
+from repro.cir.analysis import eval_const
+
+
+class InterpError(RuntimeError):
+    """Raised on unsupported constructs or runtime errors."""
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class Reference:
+    """A pointer to a scalar variable (``&x``)."""
+
+    def __init__(self, scope: "_Scope", name: str) -> None:
+        self._scope = scope
+        self._name = name
+
+    def get(self) -> Any:
+        return self._scope.get(self._name)
+
+    def set(self, value: Any) -> None:
+        self._scope.set(self._name, value)
+
+
+class _Scope:
+    """A chain-linked variable scope."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self._vars: Dict[str, Any] = {}
+        self._parent = parent
+
+    def declare(self, name: str, value: Any) -> None:
+        self._vars[name] = value
+
+    def get(self, name: str) -> Any:
+        scope = self._find(name)
+        if scope is None:
+            raise InterpError(f"undefined variable {name!r}")
+        return scope._vars[name]
+
+    def set(self, name: str, value: Any) -> None:
+        scope = self._find(name)
+        if scope is None:
+            raise InterpError(f"assignment to undeclared variable {name!r}")
+        scope._vars[name] = value
+
+    def owner_of(self, name: str) -> "_Scope":
+        scope = self._find(name)
+        if scope is None:
+            raise InterpError(f"undefined variable {name!r}")
+        return scope
+
+    def has(self, name: str) -> bool:
+        return self._find(name) is not None
+
+    def _find(self, name: str) -> Optional["_Scope"]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope._vars:
+                return scope
+            scope = scope._parent
+        return None
+
+
+def _is_float_type(name: str) -> bool:
+    return name.split()[-1] in ("float", "double")
+
+
+def _c_int_div(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        raise InterpError("integer division by zero")
+    quotient = abs(lhs) // abs(rhs)
+    return quotient if (lhs < 0) == (rhs < 0) else -quotient
+
+
+def _c_int_mod(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        raise InterpError("integer modulo by zero")
+    return lhs - _c_int_div(lhs, rhs) * rhs
+
+
+class Interpreter:
+    """Execute one or more translation units (e.g. app + margot.h)."""
+
+    def __init__(
+        self,
+        units: Union[ast.TranslationUnit, Sequence[ast.TranslationUnit]],
+        macro_overrides: Optional[Mapping[str, int]] = None,
+        intrinsics: Optional[Mapping[str, Callable[..., Any]]] = None,
+        max_steps: int = 20_000_000,
+    ) -> None:
+        if isinstance(units, ast.TranslationUnit):
+            units = [units]
+        self._units = list(units)
+        self._functions: Dict[str, ast.FunctionDef] = {}
+        self._globals = _Scope()
+        self._macros: Dict[str, Any] = {}
+        self._float_types = {"float", "double"}
+        self._steps = 0
+        self._max_steps = max_steps
+        self._clock = 0.0
+        self.stdout: List[str] = []
+        self.stderr: List[str] = []
+        self._intrinsics: Dict[str, Callable[..., Any]] = dict(self._default_intrinsics())
+        if intrinsics:
+            self._intrinsics.update(intrinsics)
+        self._load(macro_overrides or {})
+
+    # -- setup -----------------------------------------------------------------
+
+    def _load(self, overrides: Mapping[str, int]) -> None:
+        # first pass: macros and typedefs (type aliases matter for decls)
+        for unit in self._units:
+            for decl in unit.decls:
+                if isinstance(decl, ast.MacroDef):
+                    self._load_macro(decl)
+                elif isinstance(decl, ast.Typedef):
+                    if _is_float_type(decl.type.name) or decl.type.name in self._float_types:
+                        self._float_types.add(decl.name)
+        for name, value in overrides.items():
+            if name not in self._macros:
+                raise InterpError(f"override for undefined macro {name!r}")
+            self._macros[name] = value
+        for name, value in self._macros.items():
+            self._globals.declare(name, value)
+        # second pass: functions and globals
+        for unit in self._units:
+            for decl in unit.decls:
+                if isinstance(decl, ast.FunctionDef):
+                    self._functions[decl.name] = decl
+                elif isinstance(decl, ast.Decl):
+                    self._declare(decl, self._globals)
+
+    def _load_macro(self, macro: ast.MacroDef) -> None:
+        body = macro.body.strip()
+        if not body:
+            return
+        if body in ("float", "double"):
+            self._float_types.add(macro.name)
+            return
+        try:
+            self._macros[macro.name] = int(body, 0)
+            return
+        except ValueError:
+            pass
+        try:
+            self._macros[macro.name] = float(body)
+        except ValueError:
+            pass  # non-numeric macro: ignored (e.g. attribute macros)
+
+    def _default_intrinsics(self) -> Dict[str, Callable[..., Any]]:
+        def _fprintf(stream: Any, fmt: str, *args: Any) -> int:
+            text = self._format(fmt, args)
+            (self.stderr if stream == "stderr" else self.stdout).append(text)
+            return len(text)
+
+        def _printf(fmt: str, *args: Any) -> int:
+            text = self._format(fmt, args)
+            self.stdout.append(text)
+            return len(text)
+
+        def _wtime() -> float:
+            self._clock += 1e-6
+            return self._clock
+
+        return {
+            "sqrt": math.sqrt,
+            "pow": math.pow,
+            "exp": math.exp,
+            "log": math.log,
+            "fabs": abs,
+            "fmax": max,
+            "fmin": min,
+            "ceil": math.ceil,
+            "floor": math.floor,
+            "sin": math.sin,
+            "cos": math.cos,
+            "fprintf": _fprintf,
+            "printf": _printf,
+            "omp_get_wtime": _wtime,
+            "omp_get_num_threads": lambda: 1,
+            "omp_get_thread_num": lambda: 0,
+        }
+
+    @staticmethod
+    def _format(fmt: str, args: Sequence[Any]) -> str:
+        text = fmt
+        if text.startswith('"') and text.endswith('"'):
+            text = text[1:-1]
+        text = text.replace("\\n", "\n").replace("\\t", "\t")
+        # translate the C length modifiers Python's % does not know
+        for spec in ("%0.2lf", "%.2lf", "%lf"):
+            text = text.replace(spec, "%f")
+        text = text.replace("%d", "%s").replace("%f", "%s")
+        count = text.count("%s")
+        try:
+            return text % tuple(args[:count])
+        except (TypeError, ValueError):
+            return text
+
+    # -- public API ----------------------------------------------------------------
+
+    @property
+    def globals(self) -> _Scope:
+        return self._globals
+
+    def global_value(self, name: str) -> Any:
+        """Read a global variable (arrays come back as numpy views)."""
+        return self._globals.get(name)
+
+    def set_global(self, name: str, value: Any) -> None:
+        self._globals.set(name, value)
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def call(self, name: str, *args: Any) -> Any:
+        """Call a C function by name with Python/numpy arguments."""
+        func = self._functions.get(name)
+        if func is None:
+            raise InterpError(f"undefined function {name!r}")
+        if len(args) != len(func.params):
+            raise InterpError(
+                f"{name}() expects {len(func.params)} arguments, got {len(args)}"
+            )
+        scope = _Scope(self._globals)
+        for param, value in zip(func.params, args):
+            scope.declare(param.name, value)
+        try:
+            self._exec_block(func.body, _Scope(scope))
+        except _Return as ret:
+            return ret.value
+        return None
+
+    def run_main(self, argc: int = 1, argv: Any = None) -> Any:
+        """Execute ``main(argc, argv)``."""
+        main = self._functions.get("main")
+        if main is None:
+            raise InterpError("no main function")
+        args: List[Any] = []
+        if len(main.params) >= 1:
+            args.append(argc)
+        if len(main.params) >= 2:
+            args.append(argv)
+        return self.call("main", *args)
+
+    # -- statements ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self._max_steps:
+            raise InterpError(f"step budget exceeded ({self._max_steps})")
+
+    def _exec_block(self, block: ast.Block, scope: _Scope) -> None:
+        for stmt in block.stmts:
+            self._exec(stmt, scope)
+
+    def _exec(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        self._tick()
+        if isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, scope)
+        elif isinstance(stmt, ast.Decl):
+            self._declare(stmt, scope)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._declare(decl, scope)
+        elif isinstance(stmt, ast.Block):
+            self._exec_block(stmt, _Scope(scope))
+        elif isinstance(stmt, ast.If):
+            if self._truthy(self._eval(stmt.cond, scope)):
+                self._exec(stmt.then, scope)
+            elif stmt.other is not None:
+                self._exec(stmt.other, scope)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, scope)
+        elif isinstance(stmt, ast.While):
+            while self._truthy(self._eval(stmt.cond, scope)):
+                self._tick()
+                try:
+                    self._exec(stmt.body, scope)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.DoWhile):
+            while True:
+                self._tick()
+                try:
+                    self._exec(stmt.body, scope)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if not self._truthy(self._eval(stmt.cond, scope)):
+                    break
+        elif isinstance(stmt, ast.Return):
+            raise _Return(self._eval(stmt.value, scope) if stmt.value else None)
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, (ast.Pragma, ast.EmptyStmt)):
+            pass  # pragmas carry no single-threaded semantics
+        else:
+            raise InterpError(f"unsupported statement {type(stmt).__name__}")
+
+    def _exec_for(self, stmt: ast.For, scope: _Scope) -> None:
+        loop_scope = _Scope(scope)
+        if stmt.init is not None:
+            self._exec(stmt.init, loop_scope)
+        while stmt.cond is None or self._truthy(self._eval(stmt.cond, loop_scope)):
+            self._tick()
+            try:
+                self._exec(stmt.body, loop_scope)
+            except _Break:
+                return
+            except _Continue:
+                pass
+            if stmt.step is not None:
+                self._eval(stmt.step, loop_scope)
+
+    def _declare(self, decl: ast.Decl, scope: _Scope) -> None:
+        is_float = self._type_is_float(decl.type)
+        if decl.array_dims:
+            flat: Optional[List[Any]] = None
+            if isinstance(decl.init, ast.CompoundLiteral):
+                flat = [self._eval(item, scope) for item in _flatten(decl.init)]
+            dims = []
+            for dim in decl.array_dims:
+                if isinstance(dim, ast.Ident) and dim.name == "":
+                    # `int a[] = {...}`: the initializer sets the size
+                    if flat is None:
+                        raise InterpError(
+                            f"unsized array {decl.name!r} needs an initializer"
+                        )
+                    dims.append(max(1, len(flat)))
+                    continue
+                value = self._eval(dim, scope)
+                if value is None or isinstance(value, str):
+                    raise InterpError(f"bad array dimension for {decl.name!r}")
+                dims.append(int(value))
+            dtype = np.float64 if is_float else np.int64
+            array = np.zeros(dims, dtype=dtype)
+            if flat is not None:
+                array.flat[: len(flat)] = flat
+            scope.declare(decl.name, array)
+            return
+        if decl.init is not None:
+            value = self._eval(decl.init, scope)
+        else:
+            value = 0.0 if is_float else 0
+        if decl.type.pointers == 0 and not isinstance(value, (Reference, np.ndarray, str)):
+            value = float(value) if is_float else int(value)
+        scope.declare(decl.name, value)
+
+    def _type_is_float(self, type_: ast.Type) -> bool:
+        return type_.name.split()[-1] in self._float_types or _is_float_type(type_.name)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, scope: _Scope) -> Any:
+        self._tick()
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            return expr.text
+        if isinstance(expr, ast.CharLit):
+            return ord(expr.text[1]) if len(expr.text) == 3 else 0
+        if isinstance(expr, ast.Ident):
+            return scope.get(expr.name)
+        if isinstance(expr, ast.ArrayRef):
+            array, indices = self._resolve_array(expr, scope)
+            value = array[indices]
+            return float(value) if array.dtype.kind == "f" else int(value)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, scope)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, scope)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            return self._eval_assign(expr, scope)
+        if isinstance(expr, ast.TernaryOp):
+            if self._truthy(self._eval(expr.cond, scope)):
+                return self._eval(expr.then, scope)
+            return self._eval(expr.other, scope)
+        if isinstance(expr, ast.Cast):
+            value = self._eval(expr.operand, scope)
+            if expr.type.pointers:
+                return value
+            return float(value) if self._type_is_float(expr.type) else int(value)
+        if isinstance(expr, ast.SizeOf):
+            return 8
+        raise InterpError(f"unsupported expression {type(expr).__name__}")
+
+    def _resolve_array(self, ref: ast.ArrayRef, scope: _Scope):
+        base = self._eval(ref.base, scope)
+        if not isinstance(base, np.ndarray):
+            raise InterpError("indexing a non-array value")
+        indices = tuple(int(self._eval(index, scope)) for index in ref.indices)
+        if len(indices) > base.ndim:
+            raise InterpError("too many array subscripts")
+        return base, indices
+
+    def _eval_call(self, call: ast.Call, scope: _Scope) -> Any:
+        name = call.name
+        if name is None:
+            raise InterpError("indirect calls are not supported")
+        args = [self._eval_call_arg(arg, scope) for arg in call.args]
+        if name in self._functions:
+            return self.call(name, *args)
+        intrinsic = self._intrinsics.get(name)
+        if intrinsic is None:
+            raise InterpError(f"call to undefined function {name!r}")
+        return intrinsic(*args)
+
+    def _eval_call_arg(self, arg: ast.Expr, scope: _Scope) -> Any:
+        # &x produces a Reference the callee writes through
+        if isinstance(arg, ast.UnaryOp) and arg.op == "&" and isinstance(arg.operand, ast.Ident):
+            owner = scope.owner_of(arg.operand.name)
+            return Reference(owner, arg.operand.name)
+        if isinstance(arg, ast.Ident):
+            if arg.name in ("stderr", "stdout") and not scope.has(arg.name):
+                return arg.name
+            return scope.get(arg.name)
+        return self._eval(arg, scope)
+
+    def _eval_binop(self, expr: ast.BinOp, scope: _Scope) -> Any:
+        op = expr.op
+        if op == "&&":
+            return 1 if (self._truthy(self._eval(expr.lhs, scope)) and self._truthy(self._eval(expr.rhs, scope))) else 0
+        if op == "||":
+            return 1 if (self._truthy(self._eval(expr.lhs, scope)) or self._truthy(self._eval(expr.rhs, scope))) else 0
+        if op == ",":
+            self._eval(expr.lhs, scope)
+            return self._eval(expr.rhs, scope)
+        lhs = self._eval(expr.lhs, scope)
+        rhs = self._eval(expr.rhs, scope)
+        return self._apply_binop(op, lhs, rhs)
+
+    @staticmethod
+    def _apply_binop(op: str, lhs: Any, rhs: Any) -> Any:
+        both_int = isinstance(lhs, int) and isinstance(rhs, int)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return _c_int_div(lhs, rhs) if both_int else lhs / rhs
+        if op == "%":
+            if not both_int:
+                raise InterpError("% requires integer operands")
+            return _c_int_mod(lhs, rhs)
+        if op == "<":
+            return 1 if lhs < rhs else 0
+        if op == ">":
+            return 1 if lhs > rhs else 0
+        if op == "<=":
+            return 1 if lhs <= rhs else 0
+        if op == ">=":
+            return 1 if lhs >= rhs else 0
+        if op == "==":
+            return 1 if lhs == rhs else 0
+        if op == "!=":
+            return 1 if lhs != rhs else 0
+        if op == "&":
+            return int(lhs) & int(rhs)
+        if op == "|":
+            return int(lhs) | int(rhs)
+        if op == "^":
+            return int(lhs) ^ int(rhs)
+        if op == "<<":
+            return int(lhs) << int(rhs)
+        if op == ">>":
+            return int(lhs) >> int(rhs)
+        raise InterpError(f"unsupported operator {op!r}")
+
+    def _eval_unary(self, expr: ast.UnaryOp, scope: _Scope) -> Any:
+        op = expr.op
+        if op in ("++", "--"):
+            delta = 1 if op == "++" else -1
+            old = self._read_lvalue(expr.operand, scope)
+            self._write_lvalue(expr.operand, scope, old + delta)
+            return old if expr.postfix else old + delta
+        if op == "&":
+            if isinstance(expr.operand, ast.Ident):
+                return Reference(scope.owner_of(expr.operand.name), expr.operand.name)
+            raise InterpError("can only take the address of a scalar variable")
+        if op == "*":
+            value = self._eval(expr.operand, scope)
+            if isinstance(value, Reference):
+                return value.get()
+            raise InterpError("dereferencing a non-pointer")
+        value = self._eval(expr.operand, scope)
+        if op == "-":
+            return -value
+        if op == "+":
+            return value
+        if op == "!":
+            return 0 if self._truthy(value) else 1
+        if op == "~":
+            return ~int(value)
+        raise InterpError(f"unsupported unary operator {op!r}")
+
+    def _eval_assign(self, expr: ast.Assign, scope: _Scope) -> Any:
+        if expr.op == "=":
+            value = self._eval(expr.rhs, scope)
+        else:
+            op = expr.op[:-1]  # "+=" -> "+"
+            value = self._apply_binop(
+                op, self._read_lvalue(expr.lhs, scope), self._eval(expr.rhs, scope)
+            )
+        self._write_lvalue(expr.lhs, scope, value)
+        return value
+
+    def _read_lvalue(self, lvalue: ast.Expr, scope: _Scope) -> Any:
+        return self._eval(lvalue, scope)
+
+    def _write_lvalue(self, lvalue: ast.Expr, scope: _Scope, value: Any) -> None:
+        if isinstance(lvalue, ast.Ident):
+            current = scope.get(lvalue.name)
+            if isinstance(current, int) and not isinstance(value, (Reference, np.ndarray)):
+                value = int(value)
+            scope.set(lvalue.name, value)
+            return
+        if isinstance(lvalue, ast.ArrayRef):
+            array, indices = self._resolve_array(lvalue, scope)
+            array[indices] = value
+            return
+        if isinstance(lvalue, ast.UnaryOp) and lvalue.op == "*":
+            target = self._eval(lvalue.operand, scope)
+            if isinstance(target, Reference):
+                target.set(value)
+                return
+            raise InterpError("assignment through a non-pointer")
+        raise InterpError(f"unsupported lvalue {type(lvalue).__name__}")
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return value != 0
+        return value is not None
+
+
+def _flatten(literal: ast.CompoundLiteral):
+    for item in literal.items:
+        if isinstance(item, ast.CompoundLiteral):
+            yield from _flatten(item)
+        else:
+            yield item
+
+
+def make_cell(value: Any = 0.0) -> Reference:
+    """A free-standing pointer target, for passing ``&x`` arguments
+    into :meth:`Interpreter.call` from Python."""
+    scope = _Scope()
+    scope.declare("cell", value)
+    return Reference(scope, "cell")

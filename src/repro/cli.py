@@ -1,0 +1,525 @@
+"""Command-line interface: the ``socrates`` tool.
+
+Subcommands cover the whole reproduction workflow:
+
+===============  ==========================================================
+``list``         list the available benchmarks
+``features``     print the Milepost feature vector of a kernel
+``predict``      print COBAYN's CF1..CF4 predictions for a kernel
+``weave``        weave a benchmark and print the adaptive source + metrics
+``build``        run the full toolflow; optionally save the oplist/source
+``trace``        run a runtime scenario from a JSON mARGOt configuration
+``table1``       regenerate Table I
+``fig3``         regenerate Figure 3 (ASCII boxplots)
+``fig4``         regenerate Figure 4 (budget sweep table)
+``fig5``         regenerate Figure 5 (ASCII trace)
+===============  ==========================================================
+
+All output goes to stdout; every command returns a process exit code,
+so ``main`` is directly testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _add_app_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", help="benchmark name (see `socrates list`)")
+
+
+def _toolflow(args: argparse.Namespace):
+    from repro.core.toolflow import SocratesToolflow
+
+    threads = None
+    if getattr(args, "threads", None):
+        threads = sorted({int(t) for t in args.threads.split(",")})
+    return SocratesToolflow(
+        dse_repetitions=getattr(args, "repetitions", 3), thread_counts=threads
+    )
+
+
+def _load_app(name: str):
+    from repro.polybench.suite import load
+
+    return load(name)
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.polybench.suite import all_apps
+
+    print(f"{'name':14s} {'category':24s} {'kernels'}")
+    for app in all_apps():
+        print(f"{app.name:14s} {app.category:24s} {', '.join(app.kernels)}")
+    return 0
+
+
+def cmd_features(args: argparse.Namespace) -> int:
+    from repro.milepost.features import extract_features
+
+    app = _load_app(args.app)
+    vector = extract_features(app.parse(), app.kernels[0])
+    print(f"Milepost features of {app.name} / {vector.kernel}:")
+    for name, value in vector.values.items():
+        print(f"  {name:28s} {value:12.4g}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.cobayn.autotuner import CobaynAutotuner
+    from repro.cobayn.corpus import build_corpus
+    from repro.milepost.features import extract_features
+    from repro.polybench.suite import all_apps
+
+    flow = _toolflow(args)
+    app = _load_app(args.app)
+    training = [candidate for candidate in all_apps() if candidate.name != app.name]
+    corpus = build_corpus(training, flow.compiler, flow.executor, flow.omp)
+    tuner = CobaynAutotuner()
+    tuner.train(corpus)
+    features = extract_features(app.parse(), app.kernels[0])
+    prediction = tuner.predict(features, k=args.k)
+    print(f"COBAYN predictions for {app.name} (trained on the other {len(training)}):")
+    for index, (config, posterior) in enumerate(prediction.ranked[: args.k], start=1):
+        print(f"  CF{index}: p={posterior:.4f}  {config.label}")
+    return 0
+
+
+def cmd_weave(args: argparse.Namespace) -> int:
+    from repro.cir import to_source
+    from repro.gcc.flags import paper_custom_flags, standard_levels
+    from repro.lara.metrics import weave_benchmark
+
+    app = _load_app(args.app)
+    configs = standard_levels() + paper_custom_flags()
+    report, weaver = weave_benchmark(app, configs)
+    if args.source:
+        print(to_source(weaver.unit))
+    print(
+        f"# {report.benchmark}: Att={report.attributes} Act={report.actions} "
+        f"O-LOC={report.original_loc} W-LOC={report.weaved_loc} "
+        f"D-LOC={report.delta_loc} Bloat={report.bloat:.2f}"
+    )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    flow = _toolflow(args)
+    app = _load_app(args.app)
+    print(f"Building adaptive {app.name}...")
+    result = flow.build(app)
+    print("Custom flags (COBAYN):")
+    for index, config in enumerate(result.custom_flags, start=1):
+        print(f"  CF{index}: {config.label}")
+    print(
+        f"Knowledge base: {len(result.exploration.knowledge)} operating points "
+        f"({result.exploration.coverage:.0%} of the space)"
+    )
+    if args.oplist:
+        from repro.margot.oplist import save_knowledge
+
+        save_knowledge(result.exploration.knowledge, args.oplist)
+        print(f"Wrote oplist to {args.oplist}")
+    if args.source_out:
+        with open(args.source_out, "w") as handle:
+            handle.write(result.adaptive_source)
+        print(f"Wrote adaptive source to {args.source_out}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.scenario import Phase, Scenario
+    from repro.core.trace import summarize_phases, trace_to_csv
+    from repro.margot.config import apply_configuration, load_config
+
+    config = load_config(args.config)
+    flow = _toolflow(args)
+    app_def = _load_app(config.kernel)
+    print(f"Building adaptive {config.kernel}...")
+    result = flow.build(app_def)
+    app = result.adaptive
+    apply_configuration(config, app)
+
+    phase_specs = []
+    names = config.state_names()
+    interval = args.duration / len(names)
+    for index, name in enumerate(names):
+        phase_specs.append(Phase(index * interval, name))
+    scenario = Scenario(phases=phase_specs, duration_s=args.duration)
+    print(f"Running {args.duration:.0f}s over states: {', '.join(names)}")
+    records = scenario.run(app)
+    for summary in summarize_phases(records, scenario):
+        print(
+            f"  [{summary.start_s:6.1f}-{summary.end_s:6.1f}s] {summary.state:14s} "
+            f"{summary.invocations:5d} inv  {summary.mean_power_w:6.1f} W  "
+            f"{summary.mean_time_s * 1e3:8.1f} ms  T={summary.dominant_threads} "
+            f"{summary.dominant_binding} {summary.dominant_compiler}"
+        )
+    if args.csv:
+        trace_to_csv(records, args.csv)
+        print(f"Wrote trace to {args.csv}")
+    return 0
+
+
+def cmd_profiles(args: argparse.Namespace) -> int:
+    """Print the AST-derived workload profile of every benchmark."""
+    from repro.polybench.suite import all_apps
+    from repro.polybench.workload import profile_kernel
+
+    print(
+        f"{'benchmark':12s} {'GFLOP':>7s} {'WS[MB]':>7s} {'AI':>6s} {'par':>5s} "
+        f"{'regions':>8s} {'dep':>4s} {'red':>4s} {'depth':>6s}"
+    )
+    for app in all_apps():
+        profile = profile_kernel(app)
+        print(
+            f"{app.name:12s} {profile.flops / 1e9:7.2f} "
+            f"{profile.working_set_bytes / 1e6:7.1f} "
+            f"{profile.arithmetic_intensity:6.3f} {profile.parallel_fraction:5.2f} "
+            f"{profile.parallel_regions:8.0f} "
+            f"{'yes' if profile.loop_carried_dependence else 'no':>4s} "
+            f"{'yes' if profile.reduction_innermost else 'no':>4s} "
+            f"{profile.max_depth:6d}"
+        )
+    return 0
+
+
+def cmd_loocv(args: argparse.Namespace) -> int:
+    """COBAYN leave-one-out cross-validation over the suite."""
+    from repro.cobayn.evaluation import loocv_report
+    from repro.polybench.suite import all_apps
+
+    flow = _toolflow(args)
+    names = args.apps.split(",") if args.apps else None
+    apps = [app for app in all_apps() if names is None or app.name in names]
+    report = loocv_report(apps, flow.compiler, flow.executor, flow.omp, k=args.k)
+    print("COBAYN leave-one-out cross-validation")
+    print(report.to_table())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Interpret a benchmark source (optionally weaved) at a tiny size."""
+    from repro.cir import parse
+    from repro.cir.interp import Interpreter
+    from repro.polybench.datasets import DATASETS
+
+    app = _load_app(args.app)
+    overrides = {name: max(4, args.size) for name in app.sizes}
+    for name in overrides:
+        if name.startswith("TSTEPS"):
+            overrides[name] = 2
+
+    if args.weaved:
+        from repro.gcc.flags import paper_custom_flags, standard_levels
+        from repro.lara.metrics import weave_benchmark
+
+        configs = standard_levels() + paper_custom_flags()
+        _, weaver = weave_benchmark(app, configs)
+        stubs = {
+            "margot_init": lambda: None,
+            "margot_update": lambda v, t: (v.set(args.version), t.set(1)),
+            "margot_start_monitor": lambda: None,
+            "margot_stop_monitor": lambda: None,
+            "margot_log": lambda: None,
+        }
+        interp = Interpreter(weaver.unit, macro_overrides=overrides, intrinsics=stubs)
+        print(f"Interpreting weaved {app.name} (version {args.version}) at {overrides}...")
+    else:
+        interp = Interpreter(app.parse(), macro_overrides=overrides)
+        print(f"Interpreting {app.name} at {overrides}...")
+
+    code = interp.run_main()
+    print(f"main() returned {code}")
+    import numpy as np
+
+    for decl_name in sorted(
+        name
+        for name in ("D", "G", "y", "corr", "A", "w", "x1", "table", "C")
+        if interp.globals.has(name)
+    ):
+        value = interp.global_value(decl_name)
+        if isinstance(value, np.ndarray):
+            print(f"  {decl_name}: shape={value.shape} checksum={float(np.sum(value)):.6f}")
+    return 0
+
+
+def cmd_margot_header(args: argparse.Namespace) -> int:
+    from repro.margot.config import load_config
+
+    config = load_config(args.config)
+    flow = _toolflow(args)
+    result = flow.build(_load_app(config.kernel))
+    header = result.margot_header(config.states)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(header)
+        print(f"Wrote {args.out} ({len(header.splitlines())} lines)")
+    else:
+        print(header)
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Run the paper's full evaluation (Table I + Figures 3-5) in order."""
+    import copy
+
+    banner = lambda title: print("\n" + "=" * 72 + f"\n{title}\n" + "=" * 72)
+    banner("Table I -- LARA weaving metrics")
+    cmd_table1(args)
+    banner("Figure 3 -- Pareto power/throughput distributions")
+    fig3_args = copy.copy(args)
+    fig3_args.apps = None
+    cmd_fig3(fig3_args)
+    banner("Figure 4 -- power-budget sweep (2mm)")
+    fig4_args = copy.copy(args)
+    fig4_args.app = "2mm"
+    fig4_args.steps = 20
+    cmd_fig4(fig4_args)
+    banner("Figure 5 -- 300 s runtime trace (2mm)")
+    fig5_args = copy.copy(args)
+    fig5_args.app = "2mm"
+    fig5_args.duration = 300.0
+    cmd_fig5(fig5_args)
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.gcc.flags import paper_custom_flags, standard_levels
+    from repro.lara.metrics import strategy_loc, weave_benchmark
+    from repro.polybench.suite import BENCHMARK_NAMES, load
+
+    configs = standard_levels() + paper_custom_flags()
+    print(f"Table I (strategy: {strategy_loc()} logical lines)")
+    print(f"{'Benchmark':12s} {'Att':>6s} {'Act':>5s} {'O-LOC':>6s} {'W-LOC':>6s} {'D-LOC':>6s} {'Bloat':>6s}")
+    for name in BENCHMARK_NAMES:
+        report, _ = weave_benchmark(load(name), configs)
+        print(
+            f"{name:12s} {report.attributes:6d} {report.actions:5d} "
+            f"{report.original_loc:6d} {report.weaved_loc:6d} "
+            f"{report.delta_loc:6d} {report.bloat:6.2f}"
+        )
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.dse.pareto import pareto_filter
+    from repro.polybench.suite import BENCHMARK_NAMES
+    from repro.viz.ascii import boxplot
+
+    flow = _toolflow(args)
+    names = args.apps.split(",") if args.apps else BENCHMARK_NAMES
+    power_rows = []
+    throughput_rows = []
+    for name in names:
+        result = flow.build(_load_app(name))
+        front = pareto_filter(
+            result.exploration.knowledge.points(),
+            [("throughput", True), ("power", False)],
+        )
+        powers = np.array([p.metric("power").mean for p in front])
+        throughputs = np.array([p.metric("throughput").mean for p in front])
+        power_rows.append((name, powers / powers.mean()))
+        throughput_rows.append((name, throughputs / throughputs.mean()))
+    print("Figure 3 -- normalized POWER over the Pareto curve")
+    print(boxplot(power_rows, bounds=(0.0, 2.5)))
+    print("\nFigure 3 -- normalized THROUGHPUT over the Pareto curve")
+    print(boxplot(throughput_rows, bounds=(0.0, 2.5)))
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.margot.asrtm import ApplicationRuntimeManager
+    from repro.margot.goal import ComparisonFunction, Goal
+    from repro.margot.state import Constraint, OptimizationState, minimize_time
+
+    flow = _toolflow(args)
+    result = flow.build(_load_app(args.app))
+    asrtm = ApplicationRuntimeManager(result.exploration.knowledge)
+    goal = Goal("power", ComparisonFunction.LESS_OR_EQUAL, 45.0)
+    state = OptimizationState("budget", rank=minimize_time())
+    state.add_constraint(Constraint(goal))
+    asrtm.add_state(state)
+    print(f"Figure 4 -- minimize exec time of {args.app} under a power budget")
+    print(f"{'Budget[W]':>9s} {'Exec[ms]':>9s} {'Thr':>4s} {'Bind':>6s}  Compiler")
+    for budget in np.linspace(45.0, 140.0, args.steps):
+        goal.value = float(budget)
+        point = asrtm.update()
+        print(
+            f"{budget:9.1f} {point.metric('time').mean * 1e3:9.1f} "
+            f"{point.knob('threads'):4d} {str(point.knob('binding')):>6s}  "
+            f"{point.knob('compiler')}"
+        )
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.core.scenario import Phase, Scenario
+    from repro.margot.state import (
+        OptimizationState,
+        maximize_throughput,
+        maximize_throughput_per_watt_squared,
+    )
+    from repro.viz.ascii import timeseries
+
+    flow = _toolflow(args)
+    result = flow.build(_load_app(args.app))
+    app = result.adaptive
+    app.add_state(
+        OptimizationState("Thr/W^2", rank=maximize_throughput_per_watt_squared()),
+        activate=True,
+    )
+    app.add_state(OptimizationState("Throughput", rank=maximize_throughput()))
+    third = args.duration / 3.0
+    scenario = Scenario(
+        phases=[
+            Phase(0.0, "Thr/W^2"),
+            Phase(third, "Throughput"),
+            Phase(2 * third, "Thr/W^2"),
+        ],
+        duration_s=args.duration,
+    )
+    records = scenario.run(app)
+    times = [r.timestamp for r in records]
+    print(timeseries(times, [r.power_w for r in records], title="Power [W]"))
+    print()
+    print(timeseries(times, [r.time_s * 1e3 for r in records], title="Exec time [ms]"))
+    print()
+    print(timeseries(times, [float(r.threads) for r in records], title="OMP threads"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="socrates",
+        description="SOCRATES reproduction: compiler + runtime autotuning toolchain",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list benchmarks").set_defaults(func=cmd_list)
+
+    p = subparsers.add_parser("features", help="Milepost features of a kernel")
+    _add_app_argument(p)
+    p.set_defaults(func=cmd_features)
+
+    p = subparsers.add_parser("predict", help="COBAYN flag predictions")
+    _add_app_argument(p)
+    p.add_argument("-k", type=int, default=4, help="number of combinations")
+    p.set_defaults(func=cmd_predict)
+
+    p = subparsers.add_parser("weave", help="weave and report Table I metrics")
+    _add_app_argument(p)
+    p.add_argument("--source", action="store_true", help="print the weaved source")
+    p.set_defaults(func=cmd_weave)
+
+    p = subparsers.add_parser("build", help="run the full toolflow")
+    _add_app_argument(p)
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument("--oplist", help="write the knowledge base to this JSON file")
+    p.add_argument("--source-out", help="write the adaptive source to this file")
+    p.set_defaults(func=cmd_build)
+
+    p = subparsers.add_parser("trace", help="run a scenario from a margot config")
+    p.add_argument("config", help="JSON configuration (see repro.margot.config)")
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument("--csv", help="write the trace to this CSV file")
+    p.set_defaults(func=cmd_trace)
+
+    p = subparsers.add_parser("profiles", help="workload profiles of all benchmarks")
+    p.set_defaults(func=cmd_profiles)
+
+    p = subparsers.add_parser("loocv", help="COBAYN leave-one-out evaluation")
+    p.add_argument("--apps", help="comma-separated subset (default: all twelve)")
+    p.add_argument("-k", type=int, default=4)
+    p.add_argument("--threads", help="unused placeholder for symmetry")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.set_defaults(func=cmd_loocv)
+
+    p = subparsers.add_parser(
+        "run", help="interpret a benchmark source at a tiny dataset"
+    )
+    _add_app_argument(p)
+    p.add_argument("--size", type=int, default=8, help="dimension override")
+    p.add_argument("--weaved", action="store_true", help="run the weaved source")
+    p.add_argument("--version", type=int, default=0, help="clone to dispatch (with --weaved)")
+    p.set_defaults(func=cmd_run)
+
+    p = subparsers.add_parser(
+        "margot-header", help="generate margot.h from a margot config"
+    )
+    p.add_argument("config", help="JSON configuration (see repro.margot.config)")
+    p.add_argument("--out", help="write the header to this file")
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.set_defaults(func=cmd_margot_header)
+
+    p = subparsers.add_parser("table1", help="regenerate Table I")
+    p.set_defaults(func=cmd_table1)
+
+    p = subparsers.add_parser(
+        "experiments", help="run the paper's full evaluation (Table I + Figs 3-5)"
+    )
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.set_defaults(func=cmd_experiments)
+
+    p = subparsers.add_parser("fig3", help="regenerate Figure 3")
+    p.add_argument("--apps", help="comma-separated subset of benchmarks")
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.set_defaults(func=cmd_fig3)
+
+    p = subparsers.add_parser("fig4", help="regenerate Figure 4")
+    p.add_argument("--app", default="2mm")
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.set_defaults(func=cmd_fig4)
+
+    p = subparsers.add_parser("fig5", help="regenerate Figure 5")
+    p.add_argument("--app", default="2mm")
+    p.add_argument("--duration", type=float, default=300.0)
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.set_defaults(func=cmd_fig5)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""COBAYN: compiler autotuning with Bayesian networks (Ashouri et al.).
+
+SOCRATES uses COBAYN to prune the 128-combination compiler space down
+to the four most promising custom flag combinations per kernel.  The
+pipeline reproduced here:
+
+1. an **iterative-compilation corpus** (:mod:`repro.cobayn.corpus`):
+   every training kernel is compiled under all 128 combinations and
+   evaluated; the best combinations per kernel become the positive
+   examples;
+2. **application characterization**: Milepost features, discretized
+   (:mod:`repro.cobayn.discretize`);
+3. a **discrete Bayesian network** (:mod:`repro.cobayn.bn`) learned
+   over (feature bins, flag settings) from the positive examples;
+4. **prediction** (:mod:`repro.cobayn.autotuner`): given a new
+   kernel's features as evidence, rank all 128 combinations by
+   posterior probability and return the top k (k=4 in the paper).
+"""
+
+from repro.cobayn.autotuner import CobaynAutotuner, CobaynPrediction
+from repro.cobayn.bn import DiscreteBayesianNetwork, learn_structure
+from repro.cobayn.corpus import TrainingCorpus, build_corpus
+from repro.cobayn.discretize import Discretizer
+
+__all__ = [
+    "CobaynAutotuner",
+    "CobaynPrediction",
+    "Discretizer",
+    "DiscreteBayesianNetwork",
+    "TrainingCorpus",
+    "build_corpus",
+    "learn_structure",
+]

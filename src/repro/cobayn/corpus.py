@@ -1,0 +1,134 @@
+"""Iterative-compilation training corpus for COBAYN.
+
+For each training kernel, every one of the 128 flag combinations is
+evaluated (compile + run on the simulated machine at a fixed reference
+operating point) and the fastest fraction become *positive examples*:
+the configurations whose distribution the Bayesian network learns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.gcc.compiler import Compiler
+from repro.gcc.flags import ALL_FLAGS, Flag, FlagConfiguration, OptLevel, cobayn_space
+from repro.machine.executor import MachineExecutor
+from repro.machine.openmp import BindingPolicy, OpenMPRuntime
+from repro.milepost.features import FeatureVector, extract_features
+from repro.polybench.apps.base import BenchmarkApp
+from repro.polybench.workload import profile_kernel
+
+#: Reference operating point for iterative compilation (all physical
+#: cores of one socket pair, close binding) — flag effects are ranked
+#: at a fixed parallel setting, as COBAYN does on the real machine.
+REFERENCE_THREADS = 16
+REFERENCE_BINDING = BindingPolicy.CLOSE
+
+
+def flag_assignment(config: FlagConfiguration) -> Dict[str, int]:
+    """Encode a flag configuration as BN variables.
+
+    ``level`` is 0 for -O2 and 1 for -O3 (the COBAYN space bases);
+    each transformation flag is its own binary variable.
+    """
+    row: Dict[str, int] = {"level": 1 if config.level is OptLevel.O3 else 0}
+    for flag in ALL_FLAGS:
+        row[flag.value] = 1 if config.has(flag) else 0
+    return row
+
+
+def assignment_to_config(row: Mapping[str, int]) -> FlagConfiguration:
+    """Inverse of :func:`flag_assignment`."""
+    level = OptLevel.O3 if row["level"] else OptLevel.O2
+    flags = frozenset(flag for flag in ALL_FLAGS if row.get(flag.value))
+    return FlagConfiguration(level=level, flags=flags)
+
+
+@dataclass
+class KernelExamples:
+    """Per-kernel iterative-compilation outcome."""
+
+    kernel: str
+    features: FeatureVector
+    timings: List[Tuple[FlagConfiguration, float]]
+    good_configs: List[FlagConfiguration]
+
+
+@dataclass
+class TrainingCorpus:
+    """Positive examples plus the feature vectors they came from."""
+
+    examples: List[KernelExamples] = field(default_factory=list)
+
+    @property
+    def kernels(self) -> List[str]:
+        return [example.kernel for example in self.examples]
+
+    def feature_vectors(self) -> List[FeatureVector]:
+        return [example.features for example in self.examples]
+
+    def rows(self, discretizer) -> List[Dict[str, int]]:
+        """BN training rows: feature bins + flag variables per good config."""
+        rows: List[Dict[str, int]] = []
+        for example in self.examples:
+            feature_bins = discretizer.transform(example.features)
+            for config in example.good_configs:
+                row = dict(feature_bins)
+                row.update(flag_assignment(config))
+                rows.append(row)
+        return rows
+
+
+def evaluate_configuration(
+    app: BenchmarkApp,
+    config: FlagConfiguration,
+    compiler: Compiler,
+    executor: MachineExecutor,
+    omp: OpenMPRuntime,
+) -> float:
+    """Noise-free execution time of ``app`` under ``config`` at the
+    reference operating point."""
+    profile = profile_kernel(app)
+    kernel = compiler.compile(profile, config)
+    placement = omp.place(REFERENCE_THREADS, REFERENCE_BINDING)
+    return executor.evaluate(kernel, placement).time_s
+
+
+def build_corpus(
+    apps: Sequence[BenchmarkApp],
+    compiler: Compiler,
+    executor: MachineExecutor,
+    omp: OpenMPRuntime,
+    good_fraction: float = 0.1,
+) -> TrainingCorpus:
+    """Run iterative compilation for every app and keep the best combos.
+
+    ``good_fraction`` of the 128-point space (at least 4 combos) is
+    labelled positive per kernel.
+    """
+    if not 0.0 < good_fraction <= 1.0:
+        raise ValueError("good_fraction must be in (0, 1]")
+    space = cobayn_space()
+    corpus = TrainingCorpus()
+    for app in apps:
+        unit = app.parse()
+        profile = profile_kernel(app)
+        features = extract_features(unit, app.kernels[0])
+        placement = omp.place(REFERENCE_THREADS, REFERENCE_BINDING)
+        timings = [
+            (config, executor.evaluate(compiler.compile(profile, config), placement).time_s)
+            for config in space
+        ]
+        timings.sort(key=lambda item: item[1])
+        keep = max(4, int(round(len(space) * good_fraction)))
+        good = [config for config, _ in timings[:keep]]
+        corpus.examples.append(
+            KernelExamples(
+                kernel=app.name,
+                features=features,
+                timings=timings,
+                good_configs=good,
+            )
+        )
+    return corpus

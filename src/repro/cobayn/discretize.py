@@ -1,0 +1,86 @@
+"""Feature discretization for the Bayesian network.
+
+COBAYN normalizes and reduces the Milepost feature space before
+learning.  Here each selected feature is binned into ``bins`` quantile
+levels computed on the training corpus; feature *selection* keeps the
+most informative features by variance across training kernels (highly
+degenerate features carry no signal for so few kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.milepost.features import FEATURE_NAMES, FeatureVector
+
+
+@dataclass
+class Discretizer:
+    """Quantile-bin feature transformer fitted on training vectors."""
+
+    feature_names: Tuple[str, ...]
+    edges: Mapping[str, np.ndarray]
+    bins: int
+
+    @classmethod
+    def fit(
+        cls,
+        vectors: Sequence[FeatureVector],
+        bins: int = 3,
+        top_k: int = 8,
+    ) -> "Discretizer":
+        """Select the ``top_k`` highest-signal features and fit bin edges.
+
+        Candidate features are binned at quantile edges (after log1p
+        compression, since raw counts span orders of magnitude) and
+        scored by the *entropy* of the resulting level distribution: a
+        feature whose bins split the training kernels evenly carries
+        the most discrimination power, while sparse or constant
+        features collapse into one level and score zero.
+        """
+        if not vectors:
+            raise ValueError("cannot fit a discretizer on no vectors")
+        if bins < 2:
+            raise ValueError("bins must be >= 2")
+        matrix = np.log1p(
+            np.array([vector.as_array() for vector in vectors], dtype=float)
+        )
+        candidate_edges: List[np.ndarray] = []
+        entropies: List[float] = []
+        for column in range(matrix.shape[1]):
+            quantiles = np.quantile(
+                matrix[:, column], np.linspace(0, 1, bins + 1)[1:-1]
+            )
+            edges_column = np.unique(quantiles)
+            levels = np.searchsorted(edges_column, matrix[:, column], side="right")
+            candidate_edges.append(edges_column)
+            entropies.append(_entropy(levels))
+        ranked = np.argsort(-np.array(entropies), kind="stable")
+        chosen = sorted(int(index) for index in ranked[:top_k])
+        names = tuple(FEATURE_NAMES[index] for index in chosen)
+        edges: Dict[str, np.ndarray] = {
+            name: candidate_edges[index] for index, name in zip(chosen, names)
+        }
+        return cls(feature_names=names, edges=edges, bins=bins)
+
+    def transform(self, vector: FeatureVector) -> Dict[str, int]:
+        """Bin one feature vector into ``{feature: level}``."""
+        result: Dict[str, int] = {}
+        for name in self.feature_names:
+            value = np.log1p(vector[name])
+            result[name] = int(np.searchsorted(self.edges[name], value, side="right"))
+        return result
+
+    def cardinality(self, name: str) -> int:
+        """Number of levels feature ``name`` can take after binning."""
+        return len(self.edges[name]) + 1
+
+
+def _entropy(levels: np.ndarray) -> float:
+    """Shannon entropy (nats) of a discrete level assignment."""
+    _, counts = np.unique(levels, return_counts=True)
+    probabilities = counts / counts.sum()
+    return float(-(probabilities * np.log(probabilities)).sum())

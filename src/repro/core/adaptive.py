@@ -1,0 +1,161 @@
+"""The adaptive application: the runtime half of SOCRATES.
+
+This object plays the role of the weaved, compiled adaptive binary.
+Each ``run_once`` performs exactly the sequence the Autotuner strategy
+weaves around the kernel wrapper:
+
+1. ``margot_update`` — the AS-RTM picks an operating point; its knob
+   values set the version control variable and the thread count;
+2. the wrapper dispatches to the matching compiled version;
+3. the kernel "executes" on the simulated machine, advancing the
+   virtual clock;
+4. monitors observe (noisy) time/throughput/power, feeding the MAPE-K
+   loop for the next invocation;
+5. ``margot_log`` appends a trace record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.gcc.compiler import CompiledKernel
+from repro.machine.executor import ExecutionResult, MachineExecutor
+from repro.machine.openmp import BindingPolicy, OpenMPRuntime
+from repro.machine.power import RaplMeter
+from repro.margot.knowledge import KnowledgeBase, OperatingPoint
+from repro.margot.manager import MargotManager
+from repro.margot.state import OptimizationState
+
+
+@dataclass(frozen=True)
+class KernelVersion:
+    """One compiled clone of the kernel (a wrapper dispatch target)."""
+
+    index: int
+    compiled: CompiledKernel
+    binding: BindingPolicy
+
+    @property
+    def compiler_label(self) -> str:
+        return self.compiled.config.label
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One row of the runtime trace (Figure 5's signals)."""
+
+    timestamp: float
+    state: str
+    compiler: str
+    threads: int
+    binding: str
+    time_s: float
+    power_w: float
+    energy_j: float
+
+    @property
+    def throughput(self) -> float:
+        return 1.0 / self.time_s
+
+
+class AdaptiveApplication:
+    """The simulated adaptive binary for one kernel."""
+
+    def __init__(
+        self,
+        name: str,
+        versions: Mapping[Tuple[str, str], KernelVersion],
+        knowledge: KnowledgeBase,
+        executor: MachineExecutor,
+        omp: OpenMPRuntime,
+        meter: Optional[RaplMeter] = None,
+    ) -> None:
+        """``versions`` maps (compiler label, binding value) to the
+        compiled clone, mirroring the weaved wrapper's dispatch table."""
+        self.name = name
+        self._versions = dict(versions)
+        self._manager = MargotManager(kernel_name=name, knowledge=knowledge)
+        self._executor = executor
+        self._omp = omp
+        self._meter = meter
+        self._now = 0.0
+        self._trace: List[InvocationRecord] = []
+
+    # -- mARGOt wiring ----------------------------------------------------------
+
+    @property
+    def manager(self) -> MargotManager:
+        return self._manager
+
+    def add_state(self, state: OptimizationState, activate: bool = False) -> None:
+        self._manager.asrtm.add_state(state, activate=activate)
+
+    def switch_state(self, name: str) -> None:
+        self._manager.asrtm.switch_state(name)
+
+    @property
+    def active_state_name(self) -> str:
+        return self._manager.asrtm.active_state.name
+
+    # -- execution -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated wall-clock time (seconds)."""
+        return self._now
+
+    @property
+    def trace(self) -> List[InvocationRecord]:
+        return list(self._trace)
+
+    def run_once(self) -> InvocationRecord:
+        """One kernel invocation through the weaved adaptive path."""
+        point = self._manager.update()
+        version, threads = self._dispatch(point)
+        placement = self._omp.place(threads, version.binding)
+
+        self._manager.start_monitor(self._now)
+        result = self._executor.run(version.compiled, placement)
+        self._now += result.time_s
+        measured_power = (
+            self._meter.measure(result.power_w) if self._meter else result.power_w
+        )
+        self._manager.stop_monitor(self._now, power_w=measured_power)
+        self._manager.log(self._now)
+
+        record = InvocationRecord(
+            timestamp=self._now,
+            state=self.active_state_name,
+            compiler=version.compiler_label,
+            threads=threads,
+            binding=version.binding.value,
+            time_s=result.time_s,
+            power_w=measured_power,
+            energy_j=result.time_s * measured_power,
+        )
+        self._trace.append(record)
+        return record
+
+    def run_for(self, duration_s: float, max_invocations: int = 1_000_000) -> List[InvocationRecord]:
+        """Run invocations until ``duration_s`` of virtual time elapses."""
+        deadline = self._now + duration_s
+        records: List[InvocationRecord] = []
+        while self._now < deadline and len(records) < max_invocations:
+            records.append(self.run_once())
+        return records
+
+    # -- internals ----------------------------------------------------------------
+
+    def _dispatch(self, point: OperatingPoint) -> Tuple[KernelVersion, int]:
+        compiler_label = str(point.knob("compiler"))
+        binding = str(point.knob("binding"))
+        threads = int(point.knob("threads"))  # type: ignore[call-overload]
+        try:
+            version = self._versions[(compiler_label, binding)]
+        except KeyError:
+            raise KeyError(
+                f"no compiled version for ({compiler_label!r}, {binding!r}); "
+                f"available: {sorted(self._versions)}"
+            ) from None
+        return version, threads

@@ -1,0 +1,71 @@
+"""Scenarios: scripted requirement changes over simulated time.
+
+Figure 5 of the paper drives 2mm for 300 seconds while the
+requirement flips between an energy-efficient policy (maximize
+Thr/W^2) and a performance policy (maximize throughput) every 100
+seconds.  A :class:`Scenario` expresses such schedules and replays
+them against an :class:`~repro.core.adaptive.AdaptiveApplication`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.adaptive import AdaptiveApplication, InvocationRecord
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One interval of a scenario: from ``start_s`` use state ``state``."""
+
+    start_s: float
+    state: str
+
+
+@dataclass
+class Scenario:
+    """An ordered schedule of optimization-state switches.
+
+    Phases must start at strictly increasing times; the first phase
+    should start at 0.
+    """
+
+    phases: Sequence[Phase]
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a scenario needs at least one phase")
+        starts = [phase.start_s for phase in self.phases]
+        if starts != sorted(starts) or len(set(starts)) != len(starts):
+            raise ValueError("phase start times must be strictly increasing")
+        if starts[0] != 0.0:
+            raise ValueError("the first phase must start at t=0")
+        if self.duration_s <= starts[-1]:
+            raise ValueError("duration must extend past the last phase start")
+
+    def state_at(self, time_s: float) -> str:
+        """The state name that should be active at ``time_s``."""
+        active = self.phases[0].state
+        for phase in self.phases:
+            if time_s >= phase.start_s:
+                active = phase.state
+            else:
+                break
+        return active
+
+    def run(self, app: AdaptiveApplication) -> List[InvocationRecord]:
+        """Drive ``app`` through the schedule; returns the full trace.
+
+        The state switch happens between invocations, exactly like a
+        requirement update arriving at the weaved update() call.
+        """
+        records: List[InvocationRecord] = []
+        start = app.now
+        while app.now - start < self.duration_s:
+            wanted = self.state_at(app.now - start)
+            if app.active_state_name != wanted:
+                app.switch_state(wanted)
+            records.append(app.run_once())
+        return records

@@ -1,0 +1,246 @@
+"""The SOCRATES toolflow (paper Figure 1), end to end.
+
+``SocratesToolflow.build(app)`` takes a plain Polybench source and
+produces the adaptive application:
+
+1. **characterize** — parse the source, extract Milepost features;
+2. **prune the compiler space** — COBAYN (trained on the other
+   benchmarks, leave-one-out by default) predicts the 4 most promising
+   custom combinations, added to -Os/-O1/-O2/-O3;
+3. **weave** — the LARA Multiversioning strategy clones the kernel per
+   (CF x binding), the Autotuner strategy integrates mARGOt;
+4. **compile** — every version goes through the analytical GCC;
+5. **profile** — mARGOt's DSE task explores CF x TN x BP full
+   factorially and builds the knowledge base;
+6. **assemble** — versions + knowledge + monitors become an
+   :class:`~repro.core.adaptive.AdaptiveApplication`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cobayn.autotuner import CobaynAutotuner
+from repro.cobayn.corpus import build_corpus
+from repro.core.adaptive import AdaptiveApplication, KernelVersion
+from repro.dse.explorer import DesignSpace, DesignSpaceExplorer, ExplorationResult
+from repro.dse.strategies import SamplingStrategy
+from repro.gcc.compiler import Compiler
+from repro.gcc.flags import FlagConfiguration, standard_levels
+from repro.lara.metrics import WeavingReport, weave_benchmark
+from repro.lara.weaver import Weaver
+from repro.machine.executor import MachineExecutor
+from repro.machine.openmp import BindingPolicy, OpenMPRuntime
+from repro.machine.power import RaplMeter
+from repro.machine.topology import Machine, default_machine
+from repro.milepost.features import FeatureVector, extract_features
+from repro.polybench.apps.base import BenchmarkApp
+from repro.polybench.workload import WorkloadProfile, profile_kernel
+
+
+@dataclass
+class ToolflowResult:
+    """Everything the pipeline produced for one application."""
+
+    app: BenchmarkApp
+    features: FeatureVector
+    custom_flags: List[FlagConfiguration]
+    compiler_configs: List[FlagConfiguration]
+    weaving_report: WeavingReport
+    weaver: Weaver
+    exploration: ExplorationResult
+    adaptive: AdaptiveApplication
+
+    @property
+    def adaptive_source(self) -> str:
+        """The weaved C source of the adaptive application."""
+        from repro.cir import to_source
+
+        return to_source(self.weaver.unit)
+
+    def margot_header(self, states) -> str:
+        """Generate the ``margot.h`` the weaved source includes.
+
+        ``states`` are the optimization states the deployment will use
+        (the header hard-codes their constraint/rank logic, as
+        margot_heel does from the XML configuration).
+        """
+        from repro.margot.codegen import generate_margot_header
+
+        version_index = {
+            f"{label}|{binding}": version.index
+            for (label, binding), version in self.adaptive._versions.items()
+        }
+        return generate_margot_header(
+            kernel=self.app.kernels[0],
+            knowledge=self.exploration.knowledge,
+            states=states,
+            version_index=version_index,
+        )
+
+
+class SocratesToolflow:
+    """Configurable builder for adaptive applications."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        dse_repetitions: int = 5,
+        cobayn_k: int = 4,
+        thread_counts: Optional[Sequence[int]] = None,
+        seed: int = 0x50CA,
+        pareto_prune: bool = False,
+    ) -> None:
+        """``pareto_prune`` reduces the runtime knowledge base to its
+        Pareto front under (max throughput, min power) — mARGOt's usual
+        deployment mode: dominated configurations can never be the
+        answer to any monotone requirement, and a smaller OP list makes
+        every ``update()`` cheaper."""
+        self._pareto_prune = pareto_prune
+        self._machine = machine or default_machine()
+        self._omp = OpenMPRuntime(self._machine)
+        self._compiler = Compiler()
+        self._executor = MachineExecutor(self._machine, seed=seed)
+        self._dse_repetitions = dse_repetitions
+        self._cobayn_k = cobayn_k
+        self._thread_counts = list(
+            thread_counts
+            if thread_counts is not None
+            else range(1, self._machine.logical_cpus + 1)
+        )
+        self._seed = seed
+        self._tuner_cache: Dict[Tuple[str, ...], CobaynAutotuner] = {}
+
+    # -- components exposed for tests/benchmarks ------------------------------
+
+    @property
+    def machine(self) -> Machine:
+        return self._machine
+
+    @property
+    def compiler(self) -> Compiler:
+        return self._compiler
+
+    @property
+    def executor(self) -> MachineExecutor:
+        return self._executor
+
+    @property
+    def omp(self) -> OpenMPRuntime:
+        return self._omp
+
+    # -- pipeline ----------------------------------------------------------------
+
+    def build(
+        self,
+        app: BenchmarkApp,
+        training_apps: Optional[Sequence[BenchmarkApp]] = None,
+        dse_strategy: Optional[SamplingStrategy] = None,
+    ) -> ToolflowResult:
+        """Run the whole Figure 1 pipeline for ``app``.
+
+        ``training_apps`` defaults to the other eleven Polybench
+        applications (leave-one-out), so COBAYN never trains on the
+        kernel it predicts for.
+        """
+        features = self._characterize(app)
+        custom = self._prune_compiler_space(app, features, training_apps)
+        configs = standard_levels() + custom
+        report, weaver = weave_benchmark(app, configs)
+        exploration = self._profile(app, configs, dse_strategy)
+        adaptive = self._assemble(app, configs, exploration)
+        return ToolflowResult(
+            app=app,
+            features=features,
+            custom_flags=custom,
+            compiler_configs=configs,
+            weaving_report=report,
+            weaver=weaver,
+            exploration=exploration,
+            adaptive=adaptive,
+        )
+
+    # -- stages ------------------------------------------------------------------
+
+    def _characterize(self, app: BenchmarkApp) -> FeatureVector:
+        return extract_features(app.parse(), app.kernels[0])
+
+    def _prune_compiler_space(
+        self,
+        app: BenchmarkApp,
+        features: FeatureVector,
+        training_apps: Optional[Sequence[BenchmarkApp]],
+    ) -> List[FlagConfiguration]:
+        tuner = self._trained_tuner(app, training_apps)
+        return tuner.predict_top(features, self._cobayn_k)
+
+    def _trained_tuner(
+        self,
+        app: BenchmarkApp,
+        training_apps: Optional[Sequence[BenchmarkApp]],
+    ) -> CobaynAutotuner:
+        if training_apps is None:
+            from repro.polybench.suite import all_apps
+
+            training_apps = [
+                candidate for candidate in all_apps() if candidate.name != app.name
+            ]
+        key = tuple(sorted(candidate.name for candidate in training_apps))
+        if key not in self._tuner_cache:
+            corpus = build_corpus(
+                training_apps, self._compiler, self._executor, self._omp
+            )
+            tuner = CobaynAutotuner()
+            tuner.train(corpus)
+            self._tuner_cache[key] = tuner
+        return self._tuner_cache[key]
+
+    def _profile(
+        self,
+        app: BenchmarkApp,
+        configs: Sequence[FlagConfiguration],
+        dse_strategy: Optional[SamplingStrategy],
+    ) -> ExplorationResult:
+        profile = profile_kernel(app)
+        space = DesignSpace(
+            compiler_configs=list(configs), thread_counts=self._thread_counts
+        )
+        explorer = DesignSpaceExplorer(
+            self._compiler, self._executor, self._omp, repetitions=self._dse_repetitions
+        )
+        return explorer.explore(profile, space, strategy=dse_strategy, seed=self._seed)
+
+    def _assemble(
+        self,
+        app: BenchmarkApp,
+        configs: Sequence[FlagConfiguration],
+        exploration: ExplorationResult,
+    ) -> AdaptiveApplication:
+        profile = profile_kernel(app)
+        versions: Dict[Tuple[str, str], KernelVersion] = {}
+        index = 0
+        for config in configs:
+            for binding in (BindingPolicy.CLOSE, BindingPolicy.SPREAD):
+                versions[(config.label, binding.value)] = KernelVersion(
+                    index=index,
+                    compiled=self._compiler.compile(profile, config),
+                    binding=binding,
+                )
+                index += 1
+        meter = RaplMeter(self._executor.power_model, seed=self._seed ^ 0xFF)
+        knowledge = exploration.knowledge
+        if self._pareto_prune:
+            from repro.dse.pareto import pareto_front
+
+            knowledge = pareto_front(
+                knowledge, [("throughput", True), ("power", False)]
+            )
+        return AdaptiveApplication(
+            name=app.name,
+            versions=versions,
+            knowledge=knowledge,
+            executor=self._executor,
+            omp=self._omp,
+            meter=meter,
+        )

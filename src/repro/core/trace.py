@@ -1,0 +1,129 @@
+"""Trace export and analysis utilities.
+
+The adaptive application's :class:`~repro.core.adaptive.InvocationRecord`
+trace is the raw material of the paper's Figure 5.  This module
+serializes traces to CSV (for external plotting), loads them back, and
+summarizes them per scenario phase.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.adaptive import InvocationRecord
+from repro.core.scenario import Scenario
+
+_FIELDS = (
+    "timestamp",
+    "state",
+    "compiler",
+    "threads",
+    "binding",
+    "time_s",
+    "power_w",
+    "energy_j",
+)
+
+
+def trace_to_csv(records: Sequence[InvocationRecord], path: Union[str, Path]) -> None:
+    """Write a trace as CSV with one row per kernel invocation."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for record in records:
+            writer.writerow(
+                [
+                    f"{record.timestamp:.6f}",
+                    record.state,
+                    record.compiler,
+                    record.threads,
+                    record.binding,
+                    f"{record.time_s:.9f}",
+                    f"{record.power_w:.4f}",
+                    f"{record.energy_j:.6f}",
+                ]
+            )
+
+
+def trace_from_csv(path: Union[str, Path]) -> List[InvocationRecord]:
+    """Load a trace written by :func:`trace_to_csv`."""
+    records: List[InvocationRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"trace file lacks columns: {sorted(missing)}")
+        for row in reader:
+            records.append(
+                InvocationRecord(
+                    timestamp=float(row["timestamp"]),
+                    state=row["state"],
+                    compiler=row["compiler"],
+                    threads=int(row["threads"]),
+                    binding=row["binding"],
+                    time_s=float(row["time_s"]),
+                    power_w=float(row["power_w"]),
+                    energy_j=float(row["energy_j"]),
+                )
+            )
+    return records
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Aggregate statistics of one scenario phase."""
+
+    state: str
+    start_s: float
+    end_s: float
+    invocations: int
+    mean_power_w: float
+    mean_time_s: float
+    total_energy_j: float
+    dominant_threads: int
+    dominant_compiler: str
+    dominant_binding: str
+
+    @property
+    def mean_throughput(self) -> float:
+        return 1.0 / self.mean_time_s if self.mean_time_s else 0.0
+
+
+def summarize_phases(
+    records: Sequence[InvocationRecord], scenario: Scenario
+) -> List[PhaseSummary]:
+    """Per-phase aggregates of a trace produced by ``scenario.run``."""
+    boundaries = [phase.start_s for phase in scenario.phases] + [scenario.duration_s]
+    summaries: List[PhaseSummary] = []
+    for index, phase in enumerate(scenario.phases):
+        lo, hi = boundaries[index], boundaries[index + 1]
+        members = [r for r in records if lo <= r.timestamp < hi]
+        if not members:
+            continue
+        threads_votes: Dict[int, int] = {}
+        compiler_votes: Dict[str, int] = {}
+        binding_votes: Dict[str, int] = {}
+        for record in members:
+            threads_votes[record.threads] = threads_votes.get(record.threads, 0) + 1
+            compiler_votes[record.compiler] = compiler_votes.get(record.compiler, 0) + 1
+            binding_votes[record.binding] = binding_votes.get(record.binding, 0) + 1
+        summaries.append(
+            PhaseSummary(
+                state=phase.state,
+                start_s=lo,
+                end_s=hi,
+                invocations=len(members),
+                mean_power_w=float(np.mean([r.power_w for r in members])),
+                mean_time_s=float(np.mean([r.time_s for r in members])),
+                total_energy_j=float(np.sum([r.energy_j for r in members])),
+                dominant_threads=max(threads_votes, key=threads_votes.get),
+                dominant_compiler=max(compiler_votes, key=compiler_votes.get),
+                dominant_binding=max(binding_votes, key=binding_votes.get),
+            )
+        )
+    return summaries

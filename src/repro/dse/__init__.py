@@ -1,0 +1,30 @@
+"""Design Space Exploration: profiling the autotuning space.
+
+The paper runs a full-factorial DSE over (compiler configuration x
+thread count x binding policy), profiling each point with mARGOt to
+build the application knowledge.  This package provides that driver
+plus Pareto filtering and two alternative DSE strategies (random and
+latin-hypercube sampling) demonstrating the paper's claim that the
+approach is agnostic to the exploration strategy.
+"""
+
+from repro.dse.explorer import DesignSpace, DesignSpaceExplorer, ExplorationResult
+from repro.dse.pareto import pareto_filter, pareto_front
+from repro.dse.strategies import (
+    FullFactorialStrategy,
+    LatinHypercubeStrategy,
+    RandomStrategy,
+    SamplingStrategy,
+)
+
+__all__ = [
+    "DesignSpace",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "FullFactorialStrategy",
+    "LatinHypercubeStrategy",
+    "RandomStrategy",
+    "SamplingStrategy",
+    "pareto_filter",
+    "pareto_front",
+]

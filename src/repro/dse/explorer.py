@@ -1,0 +1,165 @@
+"""The DSE driver: profile the autotuning space into a knowledge base.
+
+For every selected design point (compiler configuration, thread count,
+binding policy) the explorer compiles the kernel, runs it
+``repetitions`` times on the simulated machine (as mARGOt's profiling
+task does on the real one) and stores mean/std of each EFP as an
+operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dse.strategies import FullFactorialStrategy, SamplingStrategy
+from repro.gcc.compiler import Compiler
+from repro.gcc.flags import FlagConfiguration
+from repro.machine.executor import MachineExecutor
+from repro.machine.openmp import BindingPolicy, OpenMPRuntime
+from repro.margot.knowledge import KnowledgeBase, MetricStats, OperatingPoint
+from repro.polybench.workload import WorkloadProfile
+
+#: Names of the knobs every SOCRATES operating point carries.
+KNOB_COMPILER = "compiler"
+KNOB_THREADS = "threads"
+KNOB_BINDING = "binding"
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One configuration of the paper's autotuning space."""
+
+    compiler: FlagConfiguration
+    threads: int
+    binding: BindingPolicy
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The cartesian autotuning space CO x TN x BP (paper Section II)."""
+
+    compiler_configs: Sequence[FlagConfiguration]
+    thread_counts: Sequence[int]
+    bindings: Sequence[BindingPolicy] = (BindingPolicy.CLOSE, BindingPolicy.SPREAD)
+
+    def points(self) -> List[DesignPoint]:
+        return [
+            DesignPoint(compiler=config, threads=threads, binding=binding)
+            for config in self.compiler_configs
+            for binding in self.bindings
+            for threads in self.thread_counts
+        ]
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.compiler_configs) * len(self.thread_counts) * len(self.bindings)
+        )
+
+
+@dataclass
+class ProfiledSample:
+    """Raw repetition measurements of one design point."""
+
+    point: DesignPoint
+    times: List[float] = field(default_factory=list)
+    powers: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the DSE produced for one kernel."""
+
+    kernel: str
+    knowledge: KnowledgeBase
+    samples: List[ProfiledSample]
+    explored_points: int
+    space_size: int
+
+    @property
+    def coverage(self) -> float:
+        return self.explored_points / self.space_size if self.space_size else 0.0
+
+
+class DesignSpaceExplorer:
+    """Profiles design points on the simulated machine."""
+
+    def __init__(
+        self,
+        compiler: Compiler,
+        executor: MachineExecutor,
+        omp: OpenMPRuntime,
+        repetitions: int = 5,
+    ) -> None:
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        self._compiler = compiler
+        self._executor = executor
+        self._omp = omp
+        self._repetitions = repetitions
+
+    def explore(
+        self,
+        profile: WorkloadProfile,
+        space: DesignSpace,
+        strategy: Optional[SamplingStrategy] = None,
+        seed: int = 0xD5E,
+    ) -> ExplorationResult:
+        """Profile ``profile`` over ``space`` and build the knowledge base."""
+        strategy = strategy or FullFactorialStrategy()
+        rng = np.random.default_rng(seed)
+        selected = strategy.select(space.points(), rng)
+        knowledge = KnowledgeBase()
+        samples: List[ProfiledSample] = []
+        for point in selected:
+            sample = self._profile_point(profile, point)
+            samples.append(sample)
+            knowledge.add(self._to_operating_point(sample))
+        return ExplorationResult(
+            kernel=profile.kernel,
+            knowledge=knowledge,
+            samples=samples,
+            explored_points=len(selected),
+            space_size=space.size,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _profile_point(
+        self, profile: WorkloadProfile, point: DesignPoint
+    ) -> ProfiledSample:
+        kernel = self._compiler.compile(profile, point.compiler)
+        placement = self._omp.place(point.threads, point.binding)
+        sample = ProfiledSample(point=point)
+        for _ in range(self._repetitions):
+            result = self._executor.run(kernel, placement)
+            sample.times.append(result.time_s)
+            sample.powers.append(result.power_w)
+        return sample
+
+    @staticmethod
+    def _to_operating_point(sample: ProfiledSample) -> OperatingPoint:
+        times = np.asarray(sample.times)
+        powers = np.asarray(sample.powers)
+        throughputs = 1.0 / times
+        energies = times * powers
+        def stats(values: np.ndarray) -> MetricStats:
+            std = float(values.std(ddof=1)) if len(values) > 1 else 0.0
+            return MetricStats(mean=float(values.mean()), std=std)
+
+        return OperatingPoint(
+            knobs={
+                KNOB_COMPILER: sample.point.compiler.label,
+                KNOB_THREADS: sample.point.threads,
+                KNOB_BINDING: sample.point.binding.value,
+            },
+            metrics={
+                "time": stats(times),
+                "throughput": stats(throughputs),
+                "power": stats(powers),
+                "energy": stats(energies),
+            },
+        )

@@ -1,0 +1,78 @@
+"""DSE sampling strategies.
+
+The paper uses a full-factorial analysis but notes the approach "is
+agnostic with respect to the used DSE strategy"; random and
+latin-hypercube samplers are provided to demonstrate that (and are
+exercised by an ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+import numpy as np
+
+PointT = TypeVar("PointT")
+
+
+class SamplingStrategy:
+    """Base: choose which design points to profile."""
+
+    name = "base"
+
+    def select(self, points: Sequence[PointT], rng: np.random.Generator) -> List[PointT]:
+        raise NotImplementedError
+
+
+class FullFactorialStrategy(SamplingStrategy):
+    """Profile every point of the space (the paper's choice)."""
+
+    name = "full-factorial"
+
+    def select(self, points: Sequence[PointT], rng: np.random.Generator) -> List[PointT]:
+        return list(points)
+
+
+class RandomStrategy(SamplingStrategy):
+    """Uniformly sample ``fraction`` of the space (at least ``minimum``)."""
+
+    name = "random"
+
+    def __init__(self, fraction: float = 0.25, minimum: int = 16) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self._fraction = fraction
+        self._minimum = minimum
+
+    def select(self, points: Sequence[PointT], rng: np.random.Generator) -> List[PointT]:
+        count = max(self._minimum, int(round(len(points) * self._fraction)))
+        count = min(count, len(points))
+        indices = rng.choice(len(points), size=count, replace=False)
+        return [points[index] for index in sorted(indices)]
+
+
+class LatinHypercubeStrategy(SamplingStrategy):
+    """Stratified sampling: cover every region of the (flattened) space.
+
+    The point list is split into ``samples`` equal strata and one point
+    is drawn per stratum, guaranteeing coverage of the extremes of
+    every knob range that full random sampling can miss.
+    """
+
+    name = "latin-hypercube"
+
+    def __init__(self, samples: int = 64) -> None:
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        self._samples = samples
+
+    def select(self, points: Sequence[PointT], rng: np.random.Generator) -> List[PointT]:
+        count = min(self._samples, len(points))
+        edges = np.linspace(0, len(points), count + 1)
+        chosen: List[PointT] = []
+        for stratum in range(count):
+            low = int(edges[stratum])
+            high = max(low + 1, int(edges[stratum + 1]))
+            index = int(rng.integers(low, high))
+            chosen.append(points[min(index, len(points) - 1)])
+        return chosen

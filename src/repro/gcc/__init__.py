@@ -1,0 +1,36 @@
+"""Analytical GCC model: flag space, pass effects, compiled artifacts.
+
+SOCRATES' compiler knob (paper Section II) is a combination of the four
+standard optimization levels -Os/-O1/-O2/-O3 plus six transformation
+flags taken from Chen et al.'s "Deconstructing iterative optimization":
+``-funsafe-math-optimizations``, ``-fno-guess-branch-probability``,
+``-fno-ivopts``, ``-fno-tree-loop-optimize``,
+``-fno-inline-functions`` and ``-funroll-all-loops``.
+
+There is no GCC in this environment, so :mod:`repro.gcc.compiler`
+replaces code generation with an analytical model: each flag applies a
+feature-dependent transformation to the kernel's
+:class:`~repro.polybench.workload.WorkloadProfile`-derived cost terms
+(see :mod:`repro.gcc.passes` for the per-pass rationale).
+"""
+
+from repro.gcc.compiler import CompiledKernel, Compiler
+from repro.gcc.flags import (
+    COBAYN_SPACE_SIZE,
+    Flag,
+    FlagConfiguration,
+    OptLevel,
+    cobayn_space,
+    standard_levels,
+)
+
+__all__ = [
+    "COBAYN_SPACE_SIZE",
+    "CompiledKernel",
+    "Compiler",
+    "Flag",
+    "FlagConfiguration",
+    "OptLevel",
+    "cobayn_space",
+    "standard_levels",
+]

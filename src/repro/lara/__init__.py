@@ -1,0 +1,40 @@
+"""LARA-style aspect weaving over the CIR.
+
+The paper uses the LARA aspect-oriented language (woven by the MANET
+source-to-source compiler) to keep extra-functional concerns out of
+the application source.  This package reproduces that machinery:
+
+* :mod:`repro.lara.joinpoint` — the join-point model: typed views on
+  AST nodes whose every attribute read is *counted* (the paper's Att
+  metric);
+* :mod:`repro.lara.weaver` — the weaver: all code transformations go
+  through its action methods, which are also counted (Act);
+* :mod:`repro.lara.strategies` — the two strategies of the paper,
+  **Multiversioning** (clone kernels per compiler/binding version,
+  generate the dispatch wrapper, rewrite call sites) and **Autotuner**
+  (weave the mARGOt API around the wrapper);
+* :mod:`repro.lara.metrics` — Table I's report: Att, Act, O-LOC,
+  W-LOC, D-LOC and the Bloat ratio.
+"""
+
+from repro.lara.joinpoint import CallJp, FunctionJp, LoopJp, PragmaJp
+from repro.lara.metrics import WeavingReport, strategy_loc, weave_benchmark
+from repro.lara.strategies.autotuner import AutotunerStrategy
+from repro.lara.strategies.instrumentation import TimingInstrumentation
+from repro.lara.strategies.multiversioning import MultiversioningStrategy, VersionSpec
+from repro.lara.weaver import Weaver
+
+__all__ = [
+    "AutotunerStrategy",
+    "TimingInstrumentation",
+    "CallJp",
+    "FunctionJp",
+    "LoopJp",
+    "MultiversioningStrategy",
+    "PragmaJp",
+    "VersionSpec",
+    "Weaver",
+    "WeavingReport",
+    "strategy_loc",
+    "weave_benchmark",
+]

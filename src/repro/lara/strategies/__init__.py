@@ -1,0 +1,7 @@
+"""The two LARA strategies of the paper (Section II, Figure 2)."""
+
+from repro.lara.strategies.autotuner import AutotunerStrategy
+from repro.lara.strategies.instrumentation import TimingInstrumentation
+from repro.lara.strategies.multiversioning import MultiversioningStrategy, VersionSpec
+
+__all__ = ["AutotunerStrategy", "MultiversioningStrategy", "TimingInstrumentation", "VersionSpec"]

@@ -1,0 +1,98 @@
+"""The Autotuner strategy (paper Section II, Figure 2c).
+
+Integrates mARGOt into the (already multiversioned) application:
+
+1. insert the generated ``margot.h`` header;
+2. insert the initialization call at the top of ``main``;
+3. expose the control variables to the autotuner and surround every
+   wrapper call with the mARGOt API::
+
+       margot_update(&__socrates_version, &__socrates_num_threads);
+       margot_start_monitor();
+       kernel__wrapper(...);
+       margot_stop_monitor();
+       margot_log();
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cir import Call, ExprStmt, Ident, UnaryOp
+from repro.lara.strategies.multiversioning import (
+    THREADS_VARIABLE,
+    VERSION_VARIABLE,
+)
+from repro.lara.weaver import Weaver
+
+MARGOT_HEADER = "margot.h"
+INIT_CALL = "margot_init"
+UPDATE_CALL = "margot_update"
+START_MONITOR_CALL = "margot_start_monitor"
+STOP_MONITOR_CALL = "margot_stop_monitor"
+LOG_CALL = "margot_log"
+
+
+@dataclass
+class AutotunerResult:
+    """What the strategy weaved for one kernel wrapper."""
+
+    wrapper: str
+    instrumented_calls: int
+
+
+class AutotunerStrategy:
+    """Weaves the mARGOt adaptation layer around kernel wrappers."""
+
+    def apply(
+        self, weaver: Weaver, wrappers: Sequence[str], main: str = "main"
+    ) -> Dict[str, AutotunerResult]:
+        """Instrument every call to each wrapper inside the application."""
+        weaver.insert_include(MARGOT_HEADER, system=False)
+        self._insert_init(weaver, main)
+        results: Dict[str, AutotunerResult] = {}
+        for wrapper in wrappers:
+            results[wrapper] = self._instrument_wrapper(weaver, wrapper)
+        return results
+
+    def _insert_init(self, weaver: Weaver, main: str) -> None:
+        main_jp = weaver.select_function(main)
+        main_jp.attr("name")
+        main_jp.attr("has_body")
+        init_stmt = ExprStmt(expr=Call(func=Ident(name=INIT_CALL), args=[]))
+        weaver.insert_at_function_entry(main_jp.node, init_stmt)
+
+    def _instrument_wrapper(self, weaver: Weaver, wrapper: str) -> AutotunerResult:
+        instrumented = 0
+        for call_jp in weaver.select_calls_to(wrapper):
+            call_jp.attr("arg_count")
+            owner = self._owning_function(weaver, call_jp.node)
+            anchor = weaver.statement_containing_call(owner, call_jp.node)
+            update = ExprStmt(
+                expr=Call(
+                    func=Ident(name=UPDATE_CALL),
+                    args=[
+                        UnaryOp(op="&", operand=Ident(name=VERSION_VARIABLE)),
+                        UnaryOp(op="&", operand=Ident(name=THREADS_VARIABLE)),
+                    ],
+                )
+            )
+            start = ExprStmt(expr=Call(func=Ident(name=START_MONITOR_CALL), args=[]))
+            stop = ExprStmt(expr=Call(func=Ident(name=STOP_MONITOR_CALL), args=[]))
+            log = ExprStmt(expr=Call(func=Ident(name=LOG_CALL), args=[]))
+            weaver.insert_statement_before(owner, anchor, update)
+            weaver.insert_statement_before(owner, anchor, start)
+            weaver.insert_statement_after(owner, anchor, log)
+            weaver.insert_statement_after(owner, anchor, stop)
+            instrumented += 1
+        return AutotunerResult(wrapper=wrapper, instrumented_calls=instrumented)
+
+    @staticmethod
+    def _owning_function(weaver: Weaver, call: Call):
+        from repro.cir import walk
+
+        for func in weaver.unit.functions():
+            if any(node is call for node in walk(func.body)):
+                return func
+        raise RuntimeError("call does not belong to any function")

@@ -1,0 +1,132 @@
+"""A timing-instrumentation strategy (the classic LARA use-case).
+
+Cardoso et al.'s LARA papers motivate aspect weaving with
+performance-instrumentation strategies: measure every hot loop or
+call without touching the functional source.  This strategy weaves
+``omp_get_wtime()``-based timers around selected join points:
+
+.. code-block:: c
+
+    double __socrates_timer_3 = omp_get_wtime();
+    for (i = 0; i < n; i++) ...
+    fprintf(stderr, "timer loop:3 %f\\n", omp_get_wtime() - __socrates_timer_3);
+
+It is independent of Multiversioning/Autotuner and exercised both as a
+standalone tool (profiling a plain benchmark) and in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cir import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Decl,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Ident,
+    StringLit,
+    Type,
+)
+from repro.lara.weaver import Weaver
+
+TIMER_PREFIX = "__socrates_timer_"
+
+
+@dataclass
+class InstrumentationResult:
+    """What the strategy instrumented."""
+
+    function: str
+    instrumented_loops: int
+    instrumented_calls: int
+
+
+class TimingInstrumentation:
+    """Weave wall-clock timers around loops and/or calls.
+
+    ``outermost_only`` restricts loop instrumentation to top-level
+    loops of each function (timers inside hot inner loops would
+    perturb what they measure).
+    """
+
+    def __init__(self, loops: bool = True, calls: Sequence[str] = (), outermost_only: bool = True) -> None:
+        self._loops = loops
+        self._call_targets = set(calls)
+        self._outermost_only = outermost_only
+        self._counter = 0
+
+    def apply(self, weaver: Weaver, functions: Sequence[str]) -> List[InstrumentationResult]:
+        """Instrument each named function; returns per-function results."""
+        weaver.insert_include("stdio.h", system=True)
+        weaver.insert_include("omp.h", system=True)
+        results = []
+        for name in functions:
+            results.append(self._instrument_function(weaver, name))
+        return results
+
+    def _instrument_function(self, weaver: Weaver, name: str) -> InstrumentationResult:
+        jp = weaver.select_function(name)
+        jp.attr("name")
+        func = jp.node
+        loops_done = 0
+        calls_done = 0
+        if self._loops:
+            for loop_jp in jp.loops():
+                loop_jp.attr("kind")
+                if self._outermost_only and not self._is_outermost(func, loop_jp.node):
+                    continue
+                self._wrap(weaver, func, loop_jp.node, label=f"loop:{self._counter}")
+                loops_done += 1
+        for call_jp in jp.calls():
+            if call_jp.attr("name") not in self._call_targets:
+                continue
+            anchor = weaver.statement_containing_call(func, call_jp.node)
+            self._wrap(weaver, func, anchor, label=f"call:{call_jp.attr('name')}")
+            calls_done += 1
+        return InstrumentationResult(
+            function=name, instrumented_loops=loops_done, instrumented_calls=calls_done
+        )
+
+    def _is_outermost(self, func: FunctionDef, loop: For) -> bool:
+        from repro.cir import walk
+
+        for node in walk(func.body):
+            if isinstance(node, For) and node is not loop:
+                if any(child is loop for child in walk(node.body)):
+                    return False
+        return True
+
+    def _wrap(self, weaver: Weaver, func: FunctionDef, anchor, label: str) -> None:
+        timer = f"{TIMER_PREFIX}{self._counter}"
+        self._counter += 1
+        start = Decl(
+            type=Type(name="double"),
+            name=timer,
+            init=Call(func=Ident(name="omp_get_wtime"), args=[]),
+        )
+        report = ExprStmt(
+            expr=Call(
+                func=Ident(name="fprintf"),
+                args=[
+                    Ident(name="stderr"),
+                    StringLit(text=f'"socrates {label} %f\\n"'),
+                    BinOp(
+                        op="-",
+                        lhs=Call(func=Ident(name="omp_get_wtime"), args=[]),
+                        rhs=Ident(name=timer),
+                    ),
+                ],
+            )
+        )
+        # an OpenMP pragma binds to the statement that follows it, so
+        # the timer declaration must land above the pragma, not between
+        # the pragma and the loop it controls
+        before_anchor = weaver.leading_pragma(func, anchor) or anchor
+        weaver.insert_statement_before(func, before_anchor, start)
+        weaver.insert_statement_after(func, anchor, report)

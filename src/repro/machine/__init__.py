@@ -1,0 +1,31 @@
+"""Simulated execution platform.
+
+The paper's testbed is a two-socket NUMA machine (2x Intel Xeon
+E5-2630 v3: 8 cores/socket, 2-way hyperthreading, 16 cores / 32
+logical CPUs, 128 GB DDR4-1866) with RAPL power measurement.  This
+package models it: :mod:`repro.machine.topology` describes the
+hardware, :mod:`repro.machine.openmp` maps OpenMP thread teams onto it
+under ``OMP_PLACES=cores`` with ``close``/``spread`` binding,
+:mod:`repro.machine.power` provides the power model and an RAPL-like
+meter, and :mod:`repro.machine.executor` turns a compiled kernel plus
+a thread placement into (time, power, energy) samples.
+"""
+
+from repro.machine.dvfs import TurboModel
+from repro.machine.executor import ExecutionResult, MachineExecutor
+from repro.machine.openmp import BindingPolicy, OpenMPRuntime, ThreadPlacement
+from repro.machine.power import PowerModel, RaplMeter
+from repro.machine.topology import Machine, default_machine
+
+__all__ = [
+    "BindingPolicy",
+    "TurboModel",
+    "ExecutionResult",
+    "Machine",
+    "MachineExecutor",
+    "OpenMPRuntime",
+    "PowerModel",
+    "RaplMeter",
+    "ThreadPlacement",
+    "default_machine",
+]

@@ -1,0 +1,73 @@
+"""DVFS / Turbo Boost frequency model (extension beyond the paper).
+
+The paper's testbed (Xeon E5-2630 v3, Haswell-EP) runs Turbo Boost:
+2.4 GHz base, 3.2 GHz single-core turbo, ~2.6 GHz all-core turbo, and
+an AVX frequency offset when the wide vector units are active.  The
+paper pins no frequencies and reports package power that implicitly
+contains these effects; our default machine model folds them into its
+calibrated constants.
+
+This module makes the frequency behaviour explicit as an *opt-in*
+model: pass a :class:`TurboModel` to
+:class:`~repro.machine.executor.MachineExecutor` and per-placement
+clocks (and the matching dynamic-power scaling) are applied.  The
+ablation benchmark compares both configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.openmp import ThreadPlacement
+from repro.machine.topology import Machine
+
+
+@dataclass(frozen=True)
+class TurboModel:
+    """Active-core-count dependent clock frequency.
+
+    The clock interpolates linearly between the single-core turbo bin
+    and the all-core turbo bin as cores wake up (how Intel's turbo
+    bins roughly behave), and drops by ``avx_offset_hz`` when the
+    kernel executes wide vector code.  The clock never falls below
+    ``min_hz``.
+    """
+
+    base_hz: float = 2.4e9
+    single_core_turbo_hz: float = 3.2e9
+    all_core_turbo_hz: float = 2.6e9
+    avx_offset_hz: float = 0.2e9
+    min_hz: float = 1.2e9
+    #: dynamic power roughly follows f^power_exponent (f V^2 with V ~ f)
+    power_exponent: float = 1.9
+
+    def __post_init__(self) -> None:
+        if not (
+            self.min_hz
+            <= self.all_core_turbo_hz
+            <= self.single_core_turbo_hz
+        ):
+            raise ValueError("turbo bins must satisfy min <= all-core <= single-core")
+
+    def frequency(
+        self, machine: Machine, placement: ThreadPlacement, vectorized: bool
+    ) -> float:
+        """Effective clock of the busiest socket for this placement."""
+        per_socket = placement.threads_per_socket()
+        # the busiest socket dictates the team's pace
+        busiest = max(per_socket.values())
+        cores = min(busiest, machine.cores_per_socket)
+        if machine.cores_per_socket > 1:
+            fraction = (cores - 1) / (machine.cores_per_socket - 1)
+        else:
+            fraction = 1.0
+        clock = self.single_core_turbo_hz - fraction * (
+            self.single_core_turbo_hz - self.all_core_turbo_hz
+        )
+        if vectorized:
+            clock -= self.avx_offset_hz
+        return max(self.min_hz, clock)
+
+    def power_factor(self, frequency_hz: float) -> float:
+        """Dynamic-power multiplier relative to the base clock."""
+        return (frequency_hz / self.base_hz) ** self.power_exponent

@@ -1,0 +1,235 @@
+"""Execute compiled kernels on the simulated NUMA machine.
+
+This is the substitute for running a real binary under RAPL: given a
+:class:`~repro.gcc.compiler.CompiledKernel` and a
+:class:`~repro.machine.openmp.ThreadPlacement`, it produces execution
+time, average package power and energy, through a roofline-style model
+with NUMA, SMT, fork/join and load-imbalance terms.
+
+Model summary (one kernel invocation):
+
+* serial share runs on one core: ``serial_cycles / f``;
+* parallel share is divided by the team's *compute capacity* (one unit
+  per core, +28% for a second SMT thread on the same core), degraded by
+  static-scheduling imbalance and, for dependence-limited kernels
+  (seidel-2d, nussinov), by a sublinear scaling exponent;
+* DRAM time is ``traffic / effective bandwidth``; traffic follows a
+  working-set vs. LLC capacity model (spread binding doubles both the
+  usable LLC and the bandwidth, but remote-socket threads only see
+  ``numa_remote_factor`` of their bandwidth because first-touch places
+  the data on socket 0);
+* compute and memory overlap partially (out-of-order cores prefetch);
+* every OpenMP parallel region pays a fork/join cost growing with team
+  size, and doubled when the team spans sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.gcc.compiler import CompiledKernel
+from repro.machine.dvfs import TurboModel
+from repro.machine.openmp import BindingPolicy, ThreadPlacement
+from repro.machine.power import PowerModel
+from repro.machine.topology import Machine
+
+_PER_THREAD_BANDWIDTH = 13e9  # one thread cannot saturate a socket
+_FORK_JOIN_BASE_S = 6e-6
+_FORK_JOIN_PER_THREAD_S = 4e-7
+_CROSS_SOCKET_SYNC_FACTOR = 1.9
+_OVERLAP = 0.30  # fraction of the shorter of compute/memory hidden
+_DEPENDENCE_SCALING_EXPONENT = 0.62
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Ground-truth outcome of one simulated kernel invocation."""
+
+    time_s: float
+    power_w: float
+    energy_j: float
+
+    @property
+    def throughput(self) -> float:
+        """Kernel invocations per second."""
+        return 1.0 / self.time_s
+
+    @property
+    def throughput_per_watt_sq(self) -> float:
+        """The paper's energy-efficiency rank metric, Thr/W^2."""
+        return self.throughput / (self.power_w**2)
+
+
+class MachineExecutor:
+    """Runs compiled kernels on a :class:`Machine` with optional noise."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        power_model: Optional[PowerModel] = None,
+        seed: int = 0x50C7,
+        time_noise_sigma: float = 0.02,
+        power_noise_sigma: float = 0.012,
+        turbo: Optional["TurboModel"] = None,
+    ) -> None:
+        """``turbo`` opts into the explicit DVFS model
+        (:class:`repro.machine.dvfs.TurboModel`); by default frequency
+        effects stay folded into the calibrated base clock."""
+        self._machine = machine
+        self._power_model = power_model or PowerModel()
+        self._rng = np.random.default_rng(seed)
+        self._time_sigma = time_noise_sigma
+        self._power_sigma = power_noise_sigma
+        self._turbo = turbo
+
+    @property
+    def machine(self) -> Machine:
+        return self._machine
+
+    @property
+    def power_model(self) -> PowerModel:
+        return self._power_model
+
+    def reseed(self, seed: int) -> None:
+        """Restart the measurement-noise stream."""
+        self._rng = np.random.default_rng(seed)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self, kernel: CompiledKernel, placement: ThreadPlacement, noisy: bool = True
+    ) -> ExecutionResult:
+        """Simulate one invocation; ``noisy=False`` returns model truth."""
+        truth = self.evaluate(kernel, placement)
+        if not noisy:
+            return truth
+        time_factor = float(self._rng.lognormal(0.0, self._time_sigma))
+        power_factor = float(self._rng.lognormal(0.0, self._power_sigma))
+        time_s = truth.time_s * time_factor
+        power_w = truth.power_w * power_factor
+        return ExecutionResult(time_s=time_s, power_w=power_w, energy_j=time_s * power_w)
+
+    def evaluate(
+        self, kernel: CompiledKernel, placement: ThreadPlacement
+    ) -> ExecutionResult:
+        """Noise-free model evaluation of (kernel, placement)."""
+        machine = self._machine
+        profile = kernel.profile
+        turbo_power = 1.0
+        if self._turbo is not None:
+            frequency = self._turbo.frequency(
+                machine, placement, vectorized=kernel.vector_width > 1.0
+            )
+            turbo_power = self._turbo.power_factor(frequency)
+        else:
+            frequency = machine.frequency_hz
+
+        serial_time = kernel.serial_cycles / frequency
+
+        capacity = self._compute_capacity(placement)
+        if profile.loop_carried_dependence:
+            capacity = capacity**_DEPENDENCE_SCALING_EXPONENT
+        imbalance = self._imbalance(profile, placement)
+        parallel_compute = kernel.parallel_cycles / frequency / capacity * imbalance
+
+        traffic = self._dram_traffic(kernel, placement)
+        bandwidth = self._effective_bandwidth(placement)
+        memory_time = traffic / bandwidth
+
+        body = max(parallel_compute, memory_time) + (1.0 - _OVERLAP) * min(
+            parallel_compute, memory_time
+        )
+        fork_join = self._fork_join(profile.parallel_regions, placement)
+        time_s = serial_time + body + fork_join
+
+        utilization = self._utilization(parallel_compute, memory_time)
+        bandwidth_share = self._bandwidth_share(traffic, time_s, placement)
+        power_w = self._power_model.active_power(
+            machine,
+            placement,
+            intensity=kernel.power_intensity * self._vector_power(kernel) * turbo_power,
+            utilization=utilization,
+            bandwidth_share=bandwidth_share,
+        )
+        return ExecutionResult(time_s=time_s, power_w=power_w, energy_j=time_s * power_w)
+
+    # -- model terms -----------------------------------------------------------
+
+    def _compute_capacity(self, placement: ThreadPlacement) -> float:
+        """Core-equivalents of the team: SMT second threads add 28%."""
+        machine = self._machine
+        return placement.cores_used + placement.smt_pairs * machine.smt_speedup
+
+    def _imbalance(self, profile, placement: ThreadPlacement) -> float:
+        """Static-schedule imbalance of chunked parallel iterations."""
+        threads = placement.num_threads
+        if threads == 1 or profile.parallel_regions == 0:
+            return 1.0
+        iterations = profile.parallel_iterations / profile.parallel_regions
+        if iterations <= 0:
+            return 1.0
+        chunks = np.ceil(iterations / threads)
+        quantization = (chunks * threads) / iterations
+        return float(max(1.0, quantization))
+
+    def _dram_traffic(self, kernel: CompiledKernel, placement: ThreadPlacement) -> float:
+        """Bytes pulled from DRAM during one invocation.
+
+        The working set is loaded at least once (cold misses); the part
+        of it that exceeds the usable LLC is re-streamed on every pass
+        over the data.
+        """
+        profile = kernel.profile
+        llc = len(placement.sockets_used) * self._machine.llc_bytes_per_socket
+        working_set = max(profile.working_set_bytes, 1.0)
+        naive = profile.naive_bytes
+        spill_fraction = max(0.0, (working_set - llc) / working_set)
+        return working_set + max(0.0, naive - working_set) * spill_fraction
+
+    def _effective_bandwidth(self, placement: ThreadPlacement) -> float:
+        """Aggregate DRAM bandwidth the team can actually draw.
+
+        First-touch puts the arrays on socket 0, so socket-0 threads
+        stream locally while other sockets cross the QPI link.
+        """
+        machine = self._machine
+        per_socket = placement.threads_per_socket()
+        total = 0.0
+        for socket, threads in per_socket.items():
+            socket_peak = machine.bandwidth_per_socket
+            if socket != 0:
+                socket_peak *= machine.numa_remote_factor
+            total += min(socket_peak, threads * _PER_THREAD_BANDWIDTH)
+        return max(total, _PER_THREAD_BANDWIDTH * 0.5)
+
+    def _fork_join(self, regions: float, placement: ThreadPlacement) -> float:
+        if regions <= 0 or placement.num_threads == 1:
+            return 0.0
+        cost = _FORK_JOIN_BASE_S + _FORK_JOIN_PER_THREAD_S * placement.num_threads
+        if len(placement.sockets_used) > 1:
+            cost *= _CROSS_SOCKET_SYNC_FACTOR
+        return regions * cost
+
+    @staticmethod
+    def _utilization(compute_time: float, memory_time: float) -> float:
+        """Core busy fraction: memory-bound teams stall their pipelines."""
+        total = max(compute_time, memory_time)
+        if total <= 0:
+            return 1.0
+        return max(0.35, min(1.0, compute_time / total))
+
+    def _bandwidth_share(
+        self, traffic: float, time_s: float, placement: ThreadPlacement
+    ) -> float:
+        peak = len(placement.sockets_used) * self._machine.bandwidth_per_socket
+        if time_s <= 0 or peak <= 0:
+            return 0.0
+        return min(1.0, traffic / time_s / peak)
+
+    @staticmethod
+    def _vector_power(kernel: CompiledKernel) -> float:
+        """Wide SIMD raises dynamic power (~12% for AVX on Haswell)."""
+        return 1.0 + 0.12 * (kernel.vector_width - 1.0) / 3.0

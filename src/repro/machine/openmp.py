@@ -1,0 +1,123 @@
+"""OpenMP runtime model: thread-team placement under OMP_PLACES=cores.
+
+SOCRATES controls two OpenMP knobs (paper Section II): the team size
+(``num_threads``, 1..32 on the testbed) and the binding policy
+(``proc_bind(close)`` or ``proc_bind(spread)``), with
+``OMP_PLACES=cores``.  This module reproduces libgomp's placement
+semantics for those settings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.machine.topology import Machine
+
+
+class BindingPolicy(enum.Enum):
+    """OpenMP proc_bind policy (the paper's BP knob)."""
+
+    CLOSE = "close"
+    SPREAD = "spread"
+
+    @property
+    def omp_name(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Where a thread team landed on the machine.
+
+    ``assignments`` maps each OpenMP thread id to its (socket, core)
+    place; with more threads than places, several threads share a core
+    via SMT.
+    """
+
+    policy: BindingPolicy
+    assignments: Tuple[Tuple[int, int], ...]
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def sockets_used(self) -> Tuple[int, ...]:
+        return tuple(sorted({socket for socket, _ in self.assignments}))
+
+    @property
+    def cores_used(self) -> int:
+        return len(set(self.assignments))
+
+    def threads_per_socket(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for socket, _ in self.assignments:
+            counts[socket] = counts.get(socket, 0) + 1
+        return counts
+
+    @property
+    def smt_pairs(self) -> int:
+        """Cores running two (or more) threads via hyperthreading."""
+        per_core: Dict[Tuple[int, int], int] = {}
+        for place in self.assignments:
+            per_core[place] = per_core.get(place, 0) + 1
+        return sum(1 for count in per_core.values() if count > 1)
+
+
+class OpenMPRuntime:
+    """Places OpenMP thread teams on a :class:`Machine`."""
+
+    def __init__(self, machine: Machine) -> None:
+        self._machine = machine
+        self._places = machine.core_places()
+
+    @property
+    def machine(self) -> Machine:
+        return self._machine
+
+    def max_threads(self) -> int:
+        """OMP_NUM_THREADS upper bound: the number of logical CPUs."""
+        return self._machine.logical_cpus
+
+    def place(self, num_threads: int, policy: BindingPolicy) -> ThreadPlacement:
+        """Assign ``num_threads`` OpenMP threads to core places.
+
+        * ``close``: threads fill consecutive places, so a small team
+          stays on one socket (good locality, single-socket bandwidth).
+        * ``spread``: threads are distributed as evenly as possible
+          over all places, so even a 2-thread team spans both sockets
+          (double bandwidth, cross-socket synchronization).
+
+        Teams larger than the number of places wrap around, stacking a
+        second SMT thread per core.
+        """
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if num_threads > self.max_threads():
+            raise ValueError(
+                f"num_threads={num_threads} exceeds the machine's "
+                f"{self.max_threads()} logical CPUs"
+            )
+        places = self._places
+        count = len(places)
+        assignments: List[Tuple[int, int]] = []
+        if policy is BindingPolicy.CLOSE:
+            for thread in range(num_threads):
+                assignments.append(places[thread % count])
+        else:  # SPREAD
+            # libgomp partitions the place list into num_threads chunks
+            # and puts one thread at the start of each chunk
+            teams = min(num_threads, count)
+            for slot in range(teams):
+                index = (slot * count) // teams
+                assignments.append(places[index])
+            # a team larger than the place list stacks SMT threads; the
+            # extras are spread over the places with the same rule so
+            # both sockets stay balanced
+            extras = num_threads - teams
+            for extra in range(extras):
+                index = (extra * count) // max(extras, 1)
+                assignments.append(places[index])
+        return ThreadPlacement(policy=policy, assignments=tuple(assignments))

@@ -1,0 +1,90 @@
+"""Power model and RAPL-like meter for the simulated platform.
+
+Calibrated to the paper's envelope: Figure 4 sweeps a power budget
+from 45 W (near idle) to 140 W (all cores busy on a hot kernel), and
+Figure 5's measured package power for 2mm moves between roughly 80 W
+and 145 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.openmp import ThreadPlacement
+from repro.machine.topology import Machine
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Package-level power as a function of activity.
+
+    ``uncore_w`` is paid per powered socket regardless of load (LLC,
+    memory controllers, fabric); each idle core costs ``idle_core_w``;
+    an active core adds ``active_core_w`` scaled by the workload's
+    power intensity (vector FP burns more than stalled memory waits);
+    a second SMT thread on a busy core adds ``smt_thread_w``; DRAM
+    power rises with the consumed bandwidth share.
+    """
+
+    uncore_w: float = 13.0
+    idle_core_w: float = 0.75
+    active_core_w: float = 4.6
+    smt_thread_w: float = 0.65
+    dram_max_w: float = 9.0  # per socket at full bandwidth
+
+    def idle_power(self, machine: Machine) -> float:
+        """Whole-package idle power (both sockets powered)."""
+        return (
+            machine.sockets * self.uncore_w
+            + machine.physical_cores * self.idle_core_w
+        )
+
+    def active_power(
+        self,
+        machine: Machine,
+        placement: ThreadPlacement,
+        intensity: float,
+        utilization: float,
+        bandwidth_share: float,
+    ) -> float:
+        """Average package power while the kernel runs.
+
+        ``intensity`` is the compiled kernel's power-intensity factor,
+        ``utilization`` the fraction of time cores do work rather than
+        stall, and ``bandwidth_share`` the fraction of total DRAM
+        bandwidth in use.
+        """
+        power = self.idle_power(machine)
+        busy_cores = placement.cores_used
+        power += busy_cores * self.active_core_w * intensity * utilization
+        power += placement.smt_pairs * self.smt_thread_w * utilization
+        power += len(placement.sockets_used) * self.dram_max_w * bandwidth_share
+        return power
+
+
+class RaplMeter:
+    """Samples 'measured' power with realistic meter noise.
+
+    Mirrors reading the RAPL energy counters around a kernel region:
+    the returned values wobble around the model's truth with a small
+    multiplicative log-normal error.
+    """
+
+    def __init__(self, model: PowerModel, seed: int = 0xE5C0) -> None:
+        self._model = model
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def model(self) -> PowerModel:
+        return self._model
+
+    def measure(self, true_power_w: float, sigma: float = 0.015) -> float:
+        """One noisy power reading around ``true_power_w``."""
+        return float(true_power_w * self._rng.lognormal(mean=0.0, sigma=sigma))
+
+    def reseed(self, seed: int) -> None:
+        """Reset the meter's noise stream (for reproducible campaigns)."""
+        self._rng = np.random.default_rng(seed)

@@ -1,0 +1,73 @@
+"""Hardware topology of the simulated NUMA platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class LogicalCpu:
+    """One hardware thread: (socket, core, hw_thread) coordinates."""
+
+    socket: int
+    core: int
+    hw_thread: int
+
+    @property
+    def place_id(self) -> int:
+        """Index of this CPU's *core place* under ``OMP_PLACES=cores``."""
+        return self.socket * 10_000 + self.core
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A two-level NUMA machine with SMT cores.
+
+    The defaults (see :func:`default_machine`) model the paper's
+    testbed: 2x Xeon E5-2630 v3 (Haswell-EP, 8 cores @ 2.4 GHz, 20 MB
+    L3, 4-channel DDR4-1866 => ~59 GB/s per socket).
+    """
+
+    sockets: int = 2
+    cores_per_socket: int = 8
+    threads_per_core: int = 2
+    frequency_hz: float = 2.4e9
+    llc_bytes_per_socket: float = 20e6
+    bandwidth_per_socket: float = 55e9
+    numa_remote_factor: float = 0.62  # remote-socket effective bandwidth share
+    smt_speedup: float = 0.28  # extra throughput from the 2nd hw thread
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def logical_cpus(self) -> int:
+        return self.physical_cores * self.threads_per_core
+
+    def cpus(self) -> List[LogicalCpu]:
+        """All logical CPUs, ordered socket-major then core then SMT."""
+        result: List[LogicalCpu] = []
+        for socket in range(self.sockets):
+            for core in range(self.cores_per_socket):
+                for hw_thread in range(self.threads_per_core):
+                    result.append(LogicalCpu(socket, core, hw_thread))
+        return result
+
+    def core_places(self) -> List[Tuple[int, int]]:
+        """The OMP_PLACES=cores place list: (socket, core) pairs.
+
+        Places are enumerated socket-major, matching how libgomp sees a
+        machine whose logical CPUs are numbered socket-by-socket.
+        """
+        return [
+            (socket, core)
+            for socket in range(self.sockets)
+            for core in range(self.cores_per_socket)
+        ]
+
+
+def default_machine() -> Machine:
+    """The paper's platform: 2x Xeon E5-2630 v3, 32 logical CPUs."""
+    return Machine()

@@ -1,0 +1,57 @@
+"""mARGOt: the dynamic application autotuner (Gadioli et al.).
+
+Re-implementation of the mARGOt framework the paper integrates:
+
+* a **monitoring infrastructure** (:mod:`repro.margot.monitor`)
+  gathering runtime insight through circular-buffer statistics;
+* an **Application-Specific Run-Time Manager**
+  (:mod:`repro.margot.asrtm`) selecting the most suitable
+  configuration from (i) application requirements expressed as a
+  constrained multi-objective optimization problem
+  (:mod:`repro.margot.state`), (ii) design-time knowledge from
+  profiling (:mod:`repro.margot.knowledge`) and (iii) feedback from
+  the monitors (the MAPE-K loop's knowledge reaction);
+* a thin **application-facing manager** (:mod:`repro.margot.manager`)
+  mirroring the init / start / stop / update calls that the LARA
+  Autotuner strategy weaves around the kernel wrapper.
+"""
+
+from repro.margot.asrtm import ApplicationRuntimeManager
+from repro.margot.goal import ComparisonFunction, Goal
+from repro.margot.knowledge import KnowledgeBase, OperatingPoint
+from repro.margot.manager import MargotManager
+from repro.margot.monitor import (
+    EnergyMonitor,
+    Monitor,
+    PowerMonitor,
+    ThroughputMonitor,
+    TimeMonitor,
+)
+from repro.margot.state import (
+    Constraint,
+    OptimizationState,
+    Rank,
+    RankComposition,
+    RankDirection,
+    RankField,
+)
+
+__all__ = [
+    "ApplicationRuntimeManager",
+    "ComparisonFunction",
+    "Constraint",
+    "EnergyMonitor",
+    "Goal",
+    "KnowledgeBase",
+    "MargotManager",
+    "Monitor",
+    "OperatingPoint",
+    "OptimizationState",
+    "PowerMonitor",
+    "Rank",
+    "RankComposition",
+    "RankDirection",
+    "RankField",
+    "ThroughputMonitor",
+    "TimeMonitor",
+]

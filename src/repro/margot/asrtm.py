@@ -1,0 +1,180 @@
+"""The Application-Specific Run-Time Manager (AS-RTM).
+
+The AS-RTM fuses mARGOt's three information sources:
+
+1. **application requirements** — the active
+   :class:`~repro.margot.state.OptimizationState`;
+2. **design-time knowledge** — the
+   :class:`~repro.margot.knowledge.KnowledgeBase` from profiling;
+3. **monitor feedback** — observed/expected ratios per metric, learned
+   online, which rescale the design-time expectations before every
+   selection (so the manager adapts when the machine behaves unlike
+   the profiling runs).
+
+Selection follows mARGOt's semantics: constraints filter the OP list
+in priority order; if a constraint wipes out every surviving OP it is
+*relaxed* — the OPs closest to satisfying it are kept instead; the
+rank then orders the survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.margot.knowledge import KnowledgeBase, OperatingPoint
+from repro.margot.monitor import Monitor
+from repro.margot.state import Constraint, OptimizationState
+
+
+class AsrtmError(RuntimeError):
+    """Raised on lifecycle misuse (no state, empty knowledge, ...)."""
+
+
+class ApplicationRuntimeManager:
+    """One AS-RTM instance manages one kernel / region of interest."""
+
+    def __init__(self, knowledge: KnowledgeBase) -> None:
+        if not knowledge:
+            raise AsrtmError("cannot build an AS-RTM over an empty knowledge base")
+        self._knowledge = knowledge
+        self._states: Dict[str, OptimizationState] = {}
+        self._active_state: Optional[str] = None
+        self._feedback: Dict[str, float] = {}
+        self._feedback_smoothing = 0.5
+        self._observations: Dict[str, Monitor] = {}
+        self._current: Optional[OperatingPoint] = None
+
+    # -- state management -----------------------------------------------------
+
+    @property
+    def knowledge(self) -> KnowledgeBase:
+        return self._knowledge
+
+    def add_state(self, state: OptimizationState, activate: bool = False) -> None:
+        """Register an optimization state under its name."""
+        if state.name in self._states:
+            raise AsrtmError(f"state {state.name!r} already exists")
+        self._states[state.name] = state
+        if activate or self._active_state is None:
+            self._active_state = state.name
+
+    def switch_state(self, name: str) -> None:
+        """Change the active requirements (SOCRATES' runtime lever)."""
+        if name not in self._states:
+            raise AsrtmError(f"unknown state {name!r}")
+        self._active_state = name
+
+    @property
+    def active_state(self) -> OptimizationState:
+        if self._active_state is None:
+            raise AsrtmError("no optimization state defined")
+        return self._states[self._active_state]
+
+    def state_names(self) -> List[str]:
+        return list(self._states)
+
+    # -- monitor feedback -------------------------------------------------------
+
+    def attach_monitor(self, metric: str, monitor: Monitor) -> None:
+        """Use ``monitor`` as the runtime observation source of ``metric``."""
+        self._observations[metric] = monitor
+
+    def adjustment(self, metric: str) -> float:
+        """Current observed/expected scale factor of a metric (1.0 = on model)."""
+        return self._feedback.get(metric, 1.0)
+
+    def ingest_feedback(self) -> None:
+        """Update the observed/expected ratios from the attached monitors.
+
+        Must be called while the configuration that produced the
+        observations is still current (mARGOt calls this inside
+        ``update`` at the start of every region).
+        """
+        if self._current is None:
+            return
+        for metric, monitor in self._observations.items():
+            if monitor.empty or metric not in self._current.metrics:
+                continue
+            expected = self._current.metric(metric).mean
+            if expected == 0:
+                continue
+            ratio = monitor.average() / expected
+            previous = self._feedback.get(metric, 1.0)
+            blended = (
+                self._feedback_smoothing * previous
+                + (1.0 - self._feedback_smoothing) * ratio
+            )
+            self._feedback[metric] = blended
+
+    def reset_feedback(self) -> None:
+        self._feedback.clear()
+
+    # -- selection ----------------------------------------------------------------
+
+    def update(self) -> OperatingPoint:
+        """Select the best operating point under the active state.
+
+        Implements the mARGOt decision: ingest monitor feedback, filter
+        by constraints (with relaxation), rank, remember the choice.
+        """
+        self.ingest_feedback()
+        state = self.active_state
+        survivors = self._filter(state)
+        best = self._rank(state, survivors)
+        if self._current is not None and best.key != self._current.key:
+            # configuration change: observations of the old operating
+            # point must not be attributed to the new one
+            for monitor in self._observations.values():
+                monitor.clear()
+        self._current = best
+        return best
+
+    @property
+    def current(self) -> Optional[OperatingPoint]:
+        return self._current
+
+    def _adjusted_metrics(self, point: OperatingPoint) -> Dict[str, float]:
+        values: Dict[str, float] = {}
+        for name, stats in point.metrics.items():
+            values[name] = stats.mean * self._feedback.get(name, 1.0)
+        for name, value in point.knobs.items():
+            if isinstance(value, (int, float)) and name not in values:
+                values[name] = float(value)
+        return values
+
+    def _filter(self, state: OptimizationState) -> List[OperatingPoint]:
+        survivors = self._knowledge.points()
+        for constraint in state.constraints:
+            adjust = self._feedback.get(constraint.goal.field, 1.0)
+            satisfying = [
+                point for point in survivors if constraint.satisfied_by(point, adjust)
+            ]
+            if satisfying:
+                survivors = satisfying
+                continue
+            # relaxation: keep the OPs with the smallest violation of
+            # this constraint so more important (earlier) constraints
+            # stay enforced and selection never comes up empty
+            best_violation = min(
+                constraint.violation(point, adjust) for point in survivors
+            )
+            survivors = [
+                point
+                for point in survivors
+                if constraint.violation(point, adjust) <= best_violation + 1e-12
+            ]
+        return survivors
+
+    def _rank(
+        self, state: OptimizationState, candidates: List[OperatingPoint]
+    ) -> OperatingPoint:
+        if not candidates:
+            raise AsrtmError("constraint filtering produced no candidates")
+        best_point = candidates[0]
+        best_value = state.rank.evaluate(self._adjusted_metrics(best_point))
+        for point in candidates[1:]:
+            value = state.rank.evaluate(self._adjusted_metrics(point))
+            if state.rank.better(value, best_value):
+                best_value = value
+                best_point = point
+        return best_point

@@ -1,0 +1,267 @@
+"""Generation of the ``margot.h`` adaptation-layer header.
+
+The real mARGOt ships *margot_heel*, a generator that turns an XML
+configuration into the high-level C interface the application includes
+(``margot.h``) — the header whose calls the LARA Autotuner strategy
+weaves around the kernel wrapper.  This module reproduces that step:
+given the knowledge base and the optimization states of a kernel, it
+emits a complete, self-contained C header implementing
+
+* the operating-point list as static arrays,
+* the active-state machinery (constraint filter + rank),
+* the monitor ring buffers, and
+* the ``margot_init / margot_update / margot_start_monitor /
+  margot_stop_monitor / margot_log`` entry points.
+
+The generated text is valid C for our CIR parser as well, so the whole
+weaved application (source + header) round-trips through the toolchain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.margot.knowledge import KnowledgeBase
+from repro.margot.state import (
+    Constraint,
+    OptimizationState,
+    RankComposition,
+    RankDirection,
+)
+
+_HEADER_COMMENT = """\
+/* margot.h -- generated adaptation layer (mARGOt heel equivalent).
+ * Kernel: {kernel}
+ * Operating points: {points}
+ * States: {states}
+ * DO NOT EDIT: regenerate through repro.margot.codegen.
+ */
+"""
+
+
+def _c_float(value: float) -> str:
+    return f"{value:.9g}"
+
+
+def generate_margot_header(
+    kernel: str,
+    knowledge: KnowledgeBase,
+    states: Sequence[OptimizationState],
+    version_index: Mapping[str, int],
+) -> str:
+    """Emit the ``margot.h`` text for one kernel.
+
+    ``version_index`` maps each (compiler label, binding) pair encoded
+    as ``"<label>|<binding>"`` to the wrapper's version number, so the
+    generated ``margot_update`` can translate the selected operating
+    point into the weaved control variables.
+    """
+    if not states:
+        raise ValueError("at least one optimization state is required")
+    points = knowledge.points()
+    lines: List[str] = [
+        _HEADER_COMMENT.format(
+            kernel=kernel,
+            points=len(points),
+            states=", ".join(state.name for state in states),
+        )
+    ]
+    lines.append("#define MARGOT_OP_COUNT %d" % len(points))
+    lines.append("#define MARGOT_STATE_COUNT %d" % len(states))
+    lines.append("#define MARGOT_WINDOW_SIZE 10")
+    lines.append("")
+
+    # -- knowledge tables -----------------------------------------------------
+    versions: List[int] = []
+    threads: List[int] = []
+    for point in points:
+        key = f"{point.knob('compiler')}|{point.knob('binding')}"
+        versions.append(version_index.get(key, 0))
+        threads.append(int(point.knob("threads")))  # type: ignore[call-overload]
+    lines.append(_int_table("margot_op_version", versions))
+    lines.append(_int_table("margot_op_threads", threads))
+    for metric in knowledge.metric_names:
+        means = [point.metric(metric).mean for point in points]
+        stds = [point.metric(metric).std for point in points]
+        lines.append(_float_table(f"margot_op_{metric}_mean", means))
+        lines.append(_float_table(f"margot_op_{metric}_std", stds))
+    lines.append("")
+
+    # -- state tables -----------------------------------------------------------
+    lines.append(_int_table("margot_state_rank_maximize", [
+        1 if state.rank.direction is RankDirection.MAXIMIZE else 0 for state in states
+    ]))
+    lines.append(_int_table("margot_state_rank_geometric", [
+        1 if state.rank.composition is RankComposition.GEOMETRIC else 0
+        for state in states
+    ]))
+    lines.append("static int margot_active_state = 0;")
+    lines.append("static int margot_current_op = 0;")
+    lines.append("")
+
+    # -- runtime scaffolding ------------------------------------------------------
+    lines.append(_runtime_functions(knowledge, states))
+    return "\n".join(lines) + "\n"
+
+
+def _int_table(name: str, values: Sequence[int]) -> str:
+    body = ", ".join(str(v) for v in values) or "0"
+    return f"static int {name}[] = {{{body}}};"
+
+
+def _float_table(name: str, values: Sequence[float]) -> str:
+    body = ", ".join(_c_float(v) for v in values) or "0.0"
+    return f"static double {name}[] = {{{body}}};"
+
+
+def _rank_expression(state: OptimizationState, index: int) -> str:
+    terms = []
+    if state.rank.composition is RankComposition.GEOMETRIC:
+        # log-space accumulation keeps the C expression simple
+        for field in state.rank.fields:
+            terms.append(
+                f"{_c_float(field.coefficient)} * "
+                f"log(margot_op_{field.metric}_mean[op])"
+            )
+        return " + ".join(terms)
+    for field in state.rank.fields:
+        terms.append(
+            f"{_c_float(field.coefficient)} * margot_op_{field.metric}_mean[op]"
+        )
+    return " + ".join(terms)
+
+
+def _constraint_checks(state: OptimizationState) -> List[str]:
+    checks = []
+    for constraint in state.constraints:
+        metric = constraint.goal.field
+        comparison = {
+            "lt": "<",
+            "le": "<=",
+            "gt": ">",
+            "ge": ">=",
+        }[constraint.goal.comparison.value]
+        sign = "+" if comparison in ("<", "<=") else "-"
+        checks.append(
+            f"(margot_op_{metric}_mean[op] {sign} "
+            f"{_c_float(constraint.confidence)} * margot_op_{metric}_std[op]) "
+            f"{comparison} {_c_float(constraint.goal.value)}"
+        )
+    return checks
+
+
+def _constraint_violations(state: OptimizationState) -> List[str]:
+    """C expressions for the normalized violation of each constraint
+    (mirrors :meth:`repro.margot.goal.Goal.violation`): used for the
+    relaxation fallback when no operating point is feasible."""
+    terms = []
+    for constraint in state.constraints:
+        metric = constraint.goal.field
+        comparison = constraint.goal.comparison.value
+        sign = "+" if comparison in ("lt", "le") else "-"
+        value = (
+            f"(margot_op_{metric}_mean[op] {sign} "
+            f"{_c_float(constraint.confidence)} * margot_op_{metric}_std[op])"
+        )
+        target = _c_float(constraint.goal.value)
+        scale = _c_float(max(abs(constraint.goal.value), 1e-12))
+        if comparison in ("lt", "le"):
+            raw = f"({value} - {target}) / {scale}"
+        else:
+            raw = f"({target} - {value}) / {scale}"
+        terms.append(f"({raw} > 0.0 ? {raw} : 0.0)")
+    return terms
+
+
+def _runtime_functions(
+    knowledge: KnowledgeBase, states: Sequence[OptimizationState]
+) -> str:
+    """The margot_* entry points as C text."""
+    state_rank_cases: List[str] = []
+    for index, state in enumerate(states):
+        rank_expr = _rank_expression(state, index)
+        checks = _constraint_checks(state)
+        feasible = " && ".join(checks) if checks else "1"
+        violations = _constraint_violations(state)
+        violation_expr = " + ".join(violations) if violations else "0.0"
+        better = ">" if state.rank.direction is RankDirection.MAXIMIZE else "<"
+        state_rank_cases.append(
+            f"""\
+  if (margot_active_state == {index})
+  {{
+    for (op = 0; op < MARGOT_OP_COUNT; op++)
+    {{
+      violation = {violation_expr};
+      if (found == 0 && (fallback == -1 || violation < best_violation))
+      {{
+        best_violation = violation;
+        fallback = op;
+      }}
+      if (!({feasible}))
+        continue;
+      score = {rank_expr};
+      if (found == 0 || score {better} best_score)
+      {{
+        best_score = score;
+        best_op = op;
+        found = 1;
+      }}
+    }}
+  }}"""
+        )
+    cases = "\n".join(state_rank_cases)
+    return f"""\
+static double margot_time_window[MARGOT_WINDOW_SIZE];
+static double margot_power_window[MARGOT_WINDOW_SIZE];
+static int margot_window_fill = 0;
+static double margot_region_start = 0.0;
+
+void margot_init(void)
+{{
+  margot_active_state = 0;
+  margot_current_op = 0;
+  margot_window_fill = 0;
+}}
+
+void margot_switch_state(int state)
+{{
+  if (state >= 0 && state < MARGOT_STATE_COUNT)
+    margot_active_state = state;
+}}
+
+void margot_update(int *version, int *threads)
+{{
+  int op;
+  int best_op = 0;
+  int found = 0;
+  int fallback = -1;
+  double score = 0.0;
+  double best_score = 0.0;
+  double violation = 0.0;
+  double best_violation = 0.0;
+{cases}
+  if (found == 0 && fallback >= 0)
+    best_op = fallback;
+  margot_current_op = best_op;
+  *version = margot_op_version[best_op];
+  *threads = margot_op_threads[best_op];
+}}
+
+void margot_start_monitor(void)
+{{
+  margot_region_start = omp_get_wtime();
+}}
+
+void margot_stop_monitor(void)
+{{
+  double elapsed = omp_get_wtime() - margot_region_start;
+  int slot = margot_window_fill % MARGOT_WINDOW_SIZE;
+  margot_time_window[slot] = elapsed;
+  margot_window_fill = margot_window_fill + 1;
+}}
+
+void margot_log(void)
+{{
+  int slot = (margot_window_fill - 1) % MARGOT_WINDOW_SIZE;
+  fprintf(stderr, "margot op=%d time=%f\\n", margot_current_op, margot_time_window[slot]);
+}}"""

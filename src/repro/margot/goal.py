@@ -1,0 +1,71 @@
+"""Goals: the atoms of mARGOt application requirements.
+
+A goal compares an observed or predicted value of a metric (or a
+software knob) against a target, e.g. *average power <= 102 W*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ComparisonFunction(enum.Enum):
+    """How a goal compares the subject value with the target."""
+
+    LESS = "lt"
+    LESS_OR_EQUAL = "le"
+    GREATER = "gt"
+    GREATER_OR_EQUAL = "ge"
+
+    def compare(self, value: float, target: float) -> bool:
+        if self is ComparisonFunction.LESS:
+            return value < target
+        if self is ComparisonFunction.LESS_OR_EQUAL:
+            return value <= target
+        if self is ComparisonFunction.GREATER:
+            return value > target
+        return value >= target
+
+
+@dataclass
+class Goal:
+    """A named requirement on one field.
+
+    Attributes:
+        field: metric or knob name the goal constrains.
+        comparison: the comparison function.
+        value: the target; mutable, because SOCRATES changes
+            requirements at runtime (the whole point of Figure 5).
+    """
+
+    field: str
+    comparison: ComparisonFunction
+    value: float
+
+    def check(self, observed: float) -> bool:
+        """Does ``observed`` satisfy this goal?"""
+        return self.comparison.compare(observed, self.value)
+
+    def violation(self, observed: float) -> float:
+        """How far ``observed`` is from satisfying the goal (0 if met).
+
+        Normalized by the goal target so violations on different
+        metrics are comparable when the AS-RTM must relax constraints.
+        """
+        if self.check(observed):
+            return 0.0
+        scale = max(abs(self.value), 1e-12)
+        distance = abs(observed - self.value) / scale
+        # a strict comparison violated at exact equality still violates:
+        # report an infinitesimal rather than zero
+        return max(distance, 1e-15)
+
+    def __str__(self) -> str:
+        symbol = {
+            ComparisonFunction.LESS: "<",
+            ComparisonFunction.LESS_OR_EQUAL: "<=",
+            ComparisonFunction.GREATER: ">",
+            ComparisonFunction.GREATER_OR_EQUAL: ">=",
+        }[self.comparison]
+        return f"{self.field} {symbol} {self.value}"

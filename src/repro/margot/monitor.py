@@ -1,0 +1,147 @@
+"""mARGOt monitoring infrastructure.
+
+Monitors observe one extra-functional property each, keeping the last
+``window_size`` observations in a circular buffer and exposing the
+statistical summaries the AS-RTM consumes (average, standard
+deviation, min, max, last).  The time/throughput/energy monitors wrap
+the usual start/stop pattern around a region of interest.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+
+class MonitorError(RuntimeError):
+    """Raised on misuse of the start/stop protocol or empty statistics."""
+
+
+class Monitor:
+    """Circular-buffer monitor of one extra-functional property."""
+
+    def __init__(self, name: str, window_size: int = 10) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.name = name
+        self._buffer: Deque[float] = deque(maxlen=window_size)
+
+    # -- observations -------------------------------------------------------
+
+    def push(self, value: float) -> None:
+        """Record one observation."""
+        self._buffer.append(float(value))
+
+    def clear(self) -> None:
+        """Forget all observations."""
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def empty(self) -> bool:
+        return not self._buffer
+
+    # -- statistics -----------------------------------------------------------
+
+    def last(self) -> float:
+        self._require_data()
+        return self._buffer[-1]
+
+    def average(self) -> float:
+        self._require_data()
+        return sum(self._buffer) / len(self._buffer)
+
+    def stddev(self) -> float:
+        self._require_data()
+        if len(self._buffer) < 2:
+            return 0.0
+        mean = self.average()
+        variance = sum((x - mean) ** 2 for x in self._buffer) / (len(self._buffer) - 1)
+        return math.sqrt(variance)
+
+    def max(self) -> float:
+        self._require_data()
+        return max(self._buffer)
+
+    def min(self) -> float:
+        self._require_data()
+        return min(self._buffer)
+
+    def _require_data(self) -> None:
+        if not self._buffer:
+            raise MonitorError(f"monitor {self.name!r} has no observations")
+
+
+class TimeMonitor(Monitor):
+    """Measures the wall-clock time of a region of interest (seconds).
+
+    The clock is injectable so simulated executions can drive it with
+    virtual time.
+    """
+
+    def __init__(self, name: str = "time", window_size: int = 10) -> None:
+        super().__init__(name, window_size)
+        self._started_at: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        if self._started_at is not None:
+            raise MonitorError(f"monitor {self.name!r} started twice")
+        self._started_at = now
+
+    def stop(self, now: float) -> float:
+        if self._started_at is None:
+            raise MonitorError(f"monitor {self.name!r} stopped before start")
+        elapsed = now - self._started_at
+        self._started_at = None
+        if elapsed < 0:
+            raise MonitorError("time went backwards")
+        self.push(elapsed)
+        return elapsed
+
+
+class ThroughputMonitor(Monitor):
+    """Derives throughput (work items per second) from timed regions."""
+
+    def __init__(
+        self, name: str = "throughput", window_size: int = 10, items_per_region: float = 1.0
+    ) -> None:
+        super().__init__(name, window_size)
+        self._items = items_per_region
+        self._started_at: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        if self._started_at is not None:
+            raise MonitorError(f"monitor {self.name!r} started twice")
+        self._started_at = now
+
+    def stop(self, now: float) -> float:
+        if self._started_at is None:
+            raise MonitorError(f"monitor {self.name!r} stopped before start")
+        elapsed = now - self._started_at
+        self._started_at = None
+        if elapsed <= 0:
+            raise MonitorError("cannot compute throughput of a zero-length region")
+        value = self._items / elapsed
+        self.push(value)
+        return value
+
+
+class PowerMonitor(Monitor):
+    """Observes average package power of a region (watts).
+
+    In the real mARGOt this reads RAPL counters; here the simulated
+    :class:`~repro.machine.power.RaplMeter` pushes readings in.
+    """
+
+    def __init__(self, name: str = "power", window_size: int = 10) -> None:
+        super().__init__(name, window_size)
+
+
+class EnergyMonitor(Monitor):
+    """Observes energy per region (joules), e.g. power x elapsed time."""
+
+    def __init__(self, name: str = "energy", window_size: int = 10) -> None:
+        super().__init__(name, window_size)

@@ -1,0 +1,22 @@
+"""Milepost-GCC style static code-feature extraction.
+
+SOCRATES characterizes every kernel with static features extracted by
+GCC-Milepost (Fursin et al.) and feeds them to COBAYN.  This package
+computes the same *families* of features — instruction mix, CFG shape,
+loop structure, memory-access profile — directly on the CIR AST, at
+the kernel-function granularity the paper adapted COBAYN to.
+"""
+
+from repro.milepost.features import (
+    FEATURE_NAMES,
+    FeatureVector,
+    extract_features,
+    extract_features_from_app,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FeatureVector",
+    "extract_features",
+    "extract_features_from_app",
+]

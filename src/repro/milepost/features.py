@@ -1,0 +1,257 @@
+"""Static feature vectors over kernel functions.
+
+Milepost-GCC extracts ~56 features (ft1..ft56) from GIMPLE: basic
+block counts, instruction mixes, CFG edges, loop metadata, memory
+accesses.  The CIR equivalent below covers the same families; names
+keep the ``ftNN`` convention with a descriptive suffix.
+
+Features are raw counts plus a few ratios; COBAYN discretizes and
+normalizes them itself (:mod:`repro.cobayn.discretize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.cir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Decl,
+    DeclGroup,
+    For,
+    FunctionDef,
+    Ident,
+    If,
+    Pragma,
+    TernaryOp,
+    TranslationUnit,
+    UnaryOp,
+    walk,
+)
+from repro.cir.analysis import census, collect_loops, max_loop_depth
+
+#: Ordered feature names (the schema of every vector).
+FEATURE_NAMES: Tuple[str, ...] = (
+    "ft1_basic_blocks",
+    "ft2_statements",
+    "ft3_assignments",
+    "ft4_binary_int_ops",
+    "ft5_binary_fp_ops",
+    "ft6_multiplies",
+    "ft7_divisions",
+    "ft8_comparisons",
+    "ft9_logical_ops",
+    "ft10_array_loads",
+    "ft11_array_stores",
+    "ft12_scalar_refs",
+    "ft13_calls",
+    "ft14_math_calls",
+    "ft15_branches",
+    "ft16_loops",
+    "ft17_loop_nest_depth",
+    "ft18_innermost_loops",
+    "ft19_perfect_nests",
+    "ft20_omp_pragmas",
+    "ft21_params",
+    "ft22_array_params",
+    "ft23_local_decls",
+    "ft24_max_array_rank",
+    "ft25_unary_ops",
+    "ft26_ternary_ops",
+    "ft27_returns",
+    "ft28_cfg_edges",
+    "ft29_mem_ratio",
+    "ft30_fp_ratio",
+    "ft31_store_load_ratio",
+    "ft32_branch_ratio",
+    "ft33_call_ratio",
+    "ft34_avg_loop_body_stmts",
+    "ft35_mul_ratio",
+    "ft36_div_ratio",
+    "ft37_accum_statements",
+    "ft38_if_in_loops",
+    "ft39_reduction_loops",
+    "ft40_stride_one_refs",
+)
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """One kernel's static characterization."""
+
+    kernel: str
+    values: Mapping[str, float]
+
+    def as_array(self) -> np.ndarray:
+        """Values in :data:`FEATURE_NAMES` order."""
+        return np.array([self.values[name] for name in FEATURE_NAMES], dtype=float)
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+
+def _count_statements(func: FunctionDef) -> int:
+    from repro.cir import Stmt
+
+    return sum(
+        1
+        for node in walk(func.body)
+        if isinstance(node, Stmt) and not isinstance(node, (Block, DeclGroup))
+    )
+
+
+def _basic_blocks(func: FunctionDef) -> int:
+    """CFG basic-block estimate: 2 (entry/exit) + splits per branch/loop."""
+    blocks = 2
+    for node in walk(func.body):
+        if isinstance(node, If):
+            blocks += 3 if node.other is not None else 2
+        elif isinstance(node, For):
+            blocks += 3  # header, body, latch
+    return blocks
+
+
+def _cfg_edges(func: FunctionDef) -> int:
+    edges = 1
+    for node in walk(func.body):
+        if isinstance(node, If):
+            edges += 3 if node.other is not None else 2
+        elif isinstance(node, For):
+            edges += 3
+    return edges
+
+
+def _accumulation_statements(func: FunctionDef) -> int:
+    count = 0
+    for node in walk(func.body):
+        if isinstance(node, Assign) and node.op in ("+=", "-=", "*=", "/="):
+            count += 1
+    return count
+
+
+def _stride_one_refs(func: FunctionDef, loops) -> int:
+    """Array references whose *last* index is a bare induction variable
+    of some enclosing loop — i.e. contiguous (stride-1) accesses."""
+    ivs = {info.induction_variable for info in loops if info.induction_variable}
+    count = 0
+    for node in walk(func.body):
+        if isinstance(node, ArrayRef) and node.indices:
+            last = node.indices[-1]
+            if isinstance(last, Ident) and last.name in ivs:
+                count += 1
+    return count
+
+
+def extract_features(unit: TranslationUnit, kernel: str) -> FeatureVector:
+    """Extract the feature vector of one kernel function in ``unit``."""
+    func = unit.function(kernel)
+    stats = census(func.body)
+    loops = collect_loops(func.body)
+    innermost = [info for info in loops if not info.children]
+    perfect = sum(
+        1
+        for info in loops
+        if len(info.children) == 1 and _single_statement_body(info.node)
+    )
+    omp_pragmas = sum(
+        1 for node in walk(func.body) if isinstance(node, Pragma) and node.is_omp
+    )
+    unary_ops = sum(1 for node in walk(func.body) if isinstance(node, UnaryOp))
+    ternary_ops = sum(1 for node in walk(func.body) if isinstance(node, TernaryOp))
+    local_decls = sum(
+        1 for node in walk(func.body) if isinstance(node, (Decl,))
+    ) + sum(
+        len(node.decls) for node in walk(func.body) if isinstance(node, DeclGroup)
+    )
+    array_ranks = [
+        len(node.indices) for node in walk(func.body) if isinstance(node, ArrayRef)
+    ]
+    if_in_loops = sum(
+        1
+        for info in loops
+        for node in walk(info.node.body)
+        if isinstance(node, If)
+    )
+    reduction_loops = _reduction_loop_count(innermost)
+    statements = _count_statements(func)
+    total_ops = max(1.0, float(stats.total_ops))
+    loads = float(stats.array_loads)
+    body_stmt_counts = [
+        sum(1 for _ in walk(info.node.body)) for info in loops
+    ]
+
+    values: Dict[str, float] = {
+        "ft1_basic_blocks": float(_basic_blocks(func)),
+        "ft2_statements": float(statements),
+        "ft3_assignments": float(stats.assignments),
+        "ft4_binary_int_ops": float(stats.binary_int_ops),
+        "ft5_binary_fp_ops": float(stats.binary_fp_ops),
+        "ft6_multiplies": float(stats.multiplies),
+        "ft7_divisions": float(stats.divisions),
+        "ft8_comparisons": float(stats.comparisons),
+        "ft9_logical_ops": float(stats.logical_ops),
+        "ft10_array_loads": loads,
+        "ft11_array_stores": float(stats.array_stores),
+        "ft12_scalar_refs": float(stats.scalar_refs),
+        "ft13_calls": float(stats.calls),
+        "ft14_math_calls": float(stats.math_calls),
+        "ft15_branches": float(stats.branches),
+        "ft16_loops": float(len(loops)),
+        "ft17_loop_nest_depth": float(max_loop_depth(func)),
+        "ft18_innermost_loops": float(len(innermost)),
+        "ft19_perfect_nests": float(perfect),
+        "ft20_omp_pragmas": float(omp_pragmas),
+        "ft21_params": float(len(func.params)),
+        "ft22_array_params": float(sum(1 for p in func.params if p.array_dims)),
+        "ft23_local_decls": float(local_decls),
+        "ft24_max_array_rank": float(max(array_ranks) if array_ranks else 0),
+        "ft25_unary_ops": float(unary_ops),
+        "ft26_ternary_ops": float(ternary_ops),
+        "ft27_returns": float(stats.returns),
+        "ft28_cfg_edges": float(_cfg_edges(func)),
+        "ft29_mem_ratio": (loads + stats.array_stores) / total_ops,
+        "ft30_fp_ratio": stats.binary_fp_ops / total_ops,
+        "ft31_store_load_ratio": stats.array_stores / max(1.0, loads),
+        "ft32_branch_ratio": stats.branches / total_ops,
+        "ft33_call_ratio": stats.calls / total_ops,
+        "ft34_avg_loop_body_stmts": (
+            float(np.mean(body_stmt_counts)) if body_stmt_counts else 0.0
+        ),
+        "ft35_mul_ratio": stats.multiplies / total_ops,
+        "ft36_div_ratio": stats.divisions / total_ops,
+        "ft37_accum_statements": float(_accumulation_statements(func)),
+        "ft38_if_in_loops": float(if_in_loops),
+        "ft39_reduction_loops": float(reduction_loops),
+        "ft40_stride_one_refs": float(_stride_one_refs(func, loops)),
+    }
+    return FeatureVector(kernel=kernel, values=values)
+
+
+def _single_statement_body(loop: For) -> bool:
+    body = loop.body
+    if isinstance(body, Block):
+        real = [stmt for stmt in body.stmts if not isinstance(stmt, Pragma)]
+        return len(real) == 1
+    return True
+
+
+def _reduction_loop_count(innermost) -> int:
+    from repro.polybench.workload import _is_reduction_loop
+
+    return sum(
+        1
+        for info in innermost
+        if _is_reduction_loop(info.node, info.induction_variable)
+    )
+
+
+def extract_features_from_app(app) -> List[FeatureVector]:
+    """Feature vectors of every kernel function of a BenchmarkApp."""
+    unit = app.parse()
+    return [extract_features(unit, kernel) for kernel in app.kernels]

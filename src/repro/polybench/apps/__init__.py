@@ -1,0 +1,5 @@
+"""The twelve Polybench/C applications used in the paper's evaluation."""
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, init_vector, scaled
+
+__all__ = ["Arrays", "BenchmarkApp", "init_matrix", "init_vector", "scaled"]

@@ -1,0 +1,98 @@
+"""atax: matrix-transpose-vector product, y := A^T (A x)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, init_vector, scaled
+
+SIZES = {"M": 1900, "N": 2100}
+
+SOURCE = r"""
+/* atax.c: y := A^T.(A.x). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define M 1900
+#define N 2100
+#define DATA_TYPE double
+
+static DATA_TYPE A[M][N];
+static DATA_TYPE x[N];
+static DATA_TYPE y[N];
+static DATA_TYPE tmp[M];
+
+static void init_array(int m, int n)
+{
+  int i, j;
+  DATA_TYPE fn;
+  fn = (DATA_TYPE)n;
+  for (i = 0; i < n; i++)
+    x[i] = 1.0 + (i / fn);
+  for (i = 0; i < m; i++)
+    for (j = 0; j < n; j++)
+      A[i][j] = (DATA_TYPE)((i + j) % n) / (5 * m);
+}
+
+static void print_array(int n)
+{
+  int i;
+  for (i = 0; i < n; i++)
+    fprintf(stderr, "%0.2lf ", y[i]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_atax(int m, int n)
+{
+  int i, j;
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    y[i] = 0.0;
+#pragma omp parallel for private(j)
+  for (i = 0; i < m; i++)
+  {
+    tmp[i] = 0.0;
+    for (j = 0; j < n; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+  }
+#pragma omp parallel for private(i)
+  for (j = 0; j < n; j++)
+    for (i = 0; i < m; i++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+}
+
+int main(int argc, char **argv)
+{
+  int m = M;
+  int n = N;
+  init_array(m, n);
+  kernel_atax(m, n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    m, n = dims["M"], dims["N"]
+    return {"A": init_matrix(rng, m, n), "x": init_vector(rng, n)}
+
+
+def reference(inputs: Arrays) -> Arrays:
+    tmp = inputs["A"] @ inputs["x"]
+    y = inputs["A"].T @ tmp
+    return {"y": y, "tmp": tmp}
+
+
+APP = BenchmarkApp(
+    name="atax",
+    source=SOURCE,
+    kernels=("kernel_atax",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="linear-algebra/kernels",
+)

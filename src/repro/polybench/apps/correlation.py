@@ -1,0 +1,128 @@
+"""correlation: correlation matrix of a data set (datamining)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, scaled
+
+SIZES = {"M": 1200, "N": 1400}
+
+SOURCE = r"""
+/* correlation.c: correlation matrix of an N x M data set. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define M 1200
+#define N 1400
+#define DATA_TYPE double
+#define EPS 0.1
+
+static DATA_TYPE data[N][M];
+static DATA_TYPE corr[M][M];
+static DATA_TYPE mean[M];
+static DATA_TYPE stddev[M];
+
+static void init_array(int m, int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < m; j++)
+      data[i][j] = (DATA_TYPE)(i * j) / m + i;
+}
+
+static void print_array(int m)
+{
+  int i, j;
+  for (i = 0; i < m; i++)
+    for (j = 0; j < m; j++)
+      fprintf(stderr, "%0.2lf ", corr[i][j]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_correlation(int m, int n, DATA_TYPE float_n)
+{
+  int i, j, k;
+#pragma omp parallel for private(i)
+  for (j = 0; j < m; j++)
+  {
+    mean[j] = 0.0;
+    for (i = 0; i < n; i++)
+      mean[j] += data[i][j];
+    mean[j] /= float_n;
+  }
+#pragma omp parallel for private(i)
+  for (j = 0; j < m; j++)
+  {
+    stddev[j] = 0.0;
+    for (i = 0; i < n; i++)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] /= float_n;
+    stddev[j] = sqrt(stddev[j]);
+    stddev[j] = stddev[j] <= EPS ? 1.0 : stddev[j];
+  }
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < m; j++)
+    {
+      data[i][j] -= mean[j];
+      data[i][j] /= sqrt(float_n) * stddev[j];
+    }
+#pragma omp parallel for private(j, k)
+  for (i = 0; i < m - 1; i++)
+  {
+    corr[i][i] = 1.0;
+    for (j = i + 1; j < m; j++)
+    {
+      corr[i][j] = 0.0;
+      for (k = 0; k < n; k++)
+        corr[i][j] += data[k][i] * data[k][j];
+      corr[j][i] = corr[i][j];
+    }
+  }
+  corr[m - 1][m - 1] = 1.0;
+}
+
+int main(int argc, char **argv)
+{
+  int m = M;
+  int n = N;
+  DATA_TYPE float_n = (DATA_TYPE)N;
+  init_array(m, n);
+  kernel_correlation(m, n, float_n);
+  if (argc > 42)
+    print_array(m);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    m, n = dims["M"], dims["N"]
+    return {"data": init_matrix(rng, n, m) + np.arange(n)[:, None] * 0.01}
+
+
+def reference(inputs: Arrays) -> Arrays:
+    data = inputs["data"].astype(np.float64).copy()
+    n, m = data.shape
+    float_n = float(n)
+    mean = data.mean(axis=0)
+    stddev = np.sqrt(np.mean((data - mean) ** 2, axis=0))
+    stddev = np.where(stddev <= 0.1, 1.0, stddev)
+    normalized = (data - mean) / (np.sqrt(float_n) * stddev)
+    corr = normalized.T @ normalized
+    np.fill_diagonal(corr, 1.0)
+    return {"corr": corr, "mean": mean, "stddev": stddev}
+
+
+APP = BenchmarkApp(
+    name="correlation",
+    source=SOURCE,
+    kernels=("kernel_correlation",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="datamining",
+)

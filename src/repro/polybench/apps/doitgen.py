@@ -1,0 +1,102 @@
+"""doitgen: multiresolution analysis kernel (MADNESS)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, scaled
+
+SIZES = {"NQ": 140, "NR": 150, "NP": 160}
+
+SOURCE = r"""
+/* doitgen.c: multiresolution analysis kernel (MADNESS). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define NQ 140
+#define NR 150
+#define NP 160
+#define DATA_TYPE double
+
+static DATA_TYPE A[NR][NQ][NP];
+static DATA_TYPE sum[NP];
+static DATA_TYPE C4[NP][NP];
+
+static void init_array(int nr, int nq, int np)
+{
+  int i, j, k;
+  for (i = 0; i < nr; i++)
+    for (j = 0; j < nq; j++)
+      for (k = 0; k < np; k++)
+        A[i][j][k] = (DATA_TYPE)((i * j + k) % np) / np;
+  for (i = 0; i < np; i++)
+    for (j = 0; j < np; j++)
+      C4[i][j] = (DATA_TYPE)(i * j % np) / np;
+}
+
+static void print_array(int nr, int nq, int np)
+{
+  int i, j, k;
+  for (i = 0; i < nr; i++)
+    for (j = 0; j < nq; j++)
+      for (k = 0; k < np; k++)
+        fprintf(stderr, "%0.2lf ", A[i][j][k]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_doitgen(int nr, int nq, int np)
+{
+  int r, q, p, s;
+#pragma omp parallel for private(q, p, s)
+  for (r = 0; r < nr; r++)
+    for (q = 0; q < nq; q++)
+    {
+      DATA_TYPE acc[NP];
+      for (p = 0; p < np; p++)
+      {
+        acc[p] = 0.0;
+        for (s = 0; s < np; s++)
+          acc[p] += A[r][q][s] * C4[s][p];
+      }
+      for (p = 0; p < np; p++)
+        A[r][q][p] = acc[p];
+    }
+}
+
+int main(int argc, char **argv)
+{
+  int nr = NR;
+  int nq = NQ;
+  int np = NP;
+  init_array(nr, nq, np);
+  kernel_doitgen(nr, nq, np);
+  if (argc > 42)
+    print_array(nr, nq, np);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    nq, nr, npp = dims["NQ"], dims["NR"], dims["NP"]
+    a = np.stack([init_matrix(rng, nq, npp, modulus=npp) for _ in range(nr)])
+    return {"A": a, "C4": init_matrix(rng, npp, npp, modulus=npp)}
+
+
+def reference(inputs: Arrays) -> Arrays:
+    # A[r][q][p] := sum_s A[r][q][s] * C4[s][p] for every (r, q) slice
+    a_out = np.einsum("rqs,sp->rqp", inputs["A"], inputs["C4"])
+    return {"A": a_out}
+
+
+APP = BenchmarkApp(
+    name="doitgen",
+    source=SOURCE,
+    kernels=("kernel_doitgen",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="linear-algebra/kernels",
+)

@@ -1,0 +1,131 @@
+"""gemver: vector multiplication and matrix addition (BLAS-like)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, init_vector, scaled
+
+SIZES = {"N": 2000}
+
+SOURCE = r"""
+/* gemver.c: A = A + u1.v1^T + u2.v2^T; x = x + beta.A^T.y + z; w = alpha.A.x. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define N 2000
+#define DATA_TYPE double
+
+static DATA_TYPE A[N][N];
+static DATA_TYPE u1[N];
+static DATA_TYPE v1[N];
+static DATA_TYPE u2[N];
+static DATA_TYPE v2[N];
+static DATA_TYPE w[N];
+static DATA_TYPE x[N];
+static DATA_TYPE y[N];
+static DATA_TYPE z[N];
+
+static void init_array(int n, DATA_TYPE *alpha, DATA_TYPE *beta)
+{
+  int i, j;
+  DATA_TYPE fn;
+  fn = (DATA_TYPE)n;
+  *alpha = 1.5;
+  *beta = 1.2;
+  for (i = 0; i < n; i++)
+  {
+    u1[i] = i;
+    u2[i] = ((i + 1) / fn) / 2.0;
+    v1[i] = ((i + 1) / fn) / 4.0;
+    v2[i] = ((i + 1) / fn) / 6.0;
+    y[i] = ((i + 1) / fn) / 8.0;
+    z[i] = ((i + 1) / fn) / 9.0;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (j = 0; j < n; j++)
+      A[i][j] = (DATA_TYPE)(i * j % n) / n;
+  }
+}
+
+static void print_array(int n)
+{
+  int i;
+  for (i = 0; i < n; i++)
+    fprintf(stderr, "%0.2lf ", w[i]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_gemver(int n, DATA_TYPE alpha, DATA_TYPE beta)
+{
+  int i, j;
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+#pragma omp parallel for
+  for (i = 0; i < n; i++)
+    x[i] = x[i] + z[i];
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  DATA_TYPE alpha;
+  DATA_TYPE beta;
+  init_array(n, &alpha, &beta);
+  kernel_gemver(n, alpha, beta);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    n = dims["N"]
+    return {
+        "alpha": np.float64(1.5),
+        "beta": np.float64(1.2),
+        "A": init_matrix(rng, n, n),
+        "u1": init_vector(rng, n),
+        "v1": init_vector(rng, n),
+        "u2": init_vector(rng, n),
+        "v2": init_vector(rng, n),
+        "x": np.zeros(n),
+        "w": np.zeros(n),
+        "y": init_vector(rng, n),
+        "z": init_vector(rng, n),
+    }
+
+
+def reference(inputs: Arrays) -> Arrays:
+    a_hat = (
+        inputs["A"]
+        + np.outer(inputs["u1"], inputs["v1"])
+        + np.outer(inputs["u2"], inputs["v2"])
+    )
+    x = inputs["x"] + inputs["beta"] * (a_hat.T @ inputs["y"]) + inputs["z"]
+    w = inputs["w"] + inputs["alpha"] * (a_hat @ x)
+    return {"A": a_hat, "x": x, "w": w}
+
+
+APP = BenchmarkApp(
+    name="gemver",
+    source=SOURCE,
+    kernels=("kernel_gemver",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="linear-algebra/blas",
+)

@@ -1,0 +1,110 @@
+"""jacobi-2d: 2-D Jacobi five-point stencil over TSTEPS time steps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, scaled
+
+SIZES = {"N": 1300, "TSTEPS": 500}
+
+SOURCE = r"""
+/* jacobi-2d.c: 2-D Jacobi stencil over TSTEPS time steps. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define N 1300
+#define TSTEPS 500
+#define DATA_TYPE double
+
+static DATA_TYPE A[N][N];
+static DATA_TYPE B[N][N];
+
+static void init_array(int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+    {
+      A[i][j] = ((DATA_TYPE)i * (j + 2) + 2) / n;
+      B[i][j] = ((DATA_TYPE)i * (j + 3) + 3) / n;
+    }
+}
+
+static void print_array(int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      fprintf(stderr, "%0.2lf ", A[i][j]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_jacobi_2d(int tsteps, int n)
+{
+  int t, i, j;
+  for (t = 0; t < tsteps; t++)
+  {
+#pragma omp parallel for private(j)
+    for (i = 1; i < n - 1; i++)
+      for (j = 1; j < n - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][1 + j] + A[1 + i][j] + A[i - 1][j]);
+#pragma omp parallel for private(j)
+    for (i = 1; i < n - 1; i++)
+      for (j = 1; j < n - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][1 + j] + B[1 + i][j] + B[i - 1][j]);
+  }
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  int tsteps = TSTEPS;
+  init_array(n);
+  kernel_jacobi_2d(tsteps, n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    n = dims["N"]
+    i = np.arange(n, dtype=np.float64)[:, None]
+    j = np.arange(n, dtype=np.float64)[None, :]
+    a = (i * (j + 2.0) + 2.0) / n
+    b = (i * (j + 3.0) + 3.0) / n
+    return {"A": a, "B": b, "tsteps": np.int64(dims["TSTEPS"])}
+
+
+def _relax(src: np.ndarray, dst: np.ndarray) -> None:
+    dst[1:-1, 1:-1] = 0.2 * (
+        src[1:-1, 1:-1]
+        + src[1:-1, :-2]
+        + src[1:-1, 2:]
+        + src[2:, 1:-1]
+        + src[:-2, 1:-1]
+    )
+
+
+def reference(inputs: Arrays) -> Arrays:
+    a = inputs["A"].copy()
+    b = inputs["B"].copy()
+    for _ in range(int(inputs["tsteps"])):
+        _relax(a, b)
+        _relax(b, a)
+    return {"A": a, "B": b}
+
+
+APP = BenchmarkApp(
+    name="jacobi-2d",
+    source=SOURCE,
+    kernels=("kernel_jacobi_2d",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="stencils",
+)

@@ -1,0 +1,99 @@
+"""mvt: matrix-vector product and transpose-product."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, init_vector, scaled
+
+SIZES = {"N": 2000}
+
+SOURCE = r"""
+/* mvt.c: x1 = x1 + A.y1; x2 = x2 + A^T.y2. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define N 2000
+#define DATA_TYPE double
+
+static DATA_TYPE A[N][N];
+static DATA_TYPE x1[N];
+static DATA_TYPE x2[N];
+static DATA_TYPE y1[N];
+static DATA_TYPE y2[N];
+
+static void init_array(int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+  {
+    x1[i] = (DATA_TYPE)(i % n) / n;
+    x2[i] = (DATA_TYPE)((i + 1) % n) / n;
+    y1[i] = (DATA_TYPE)((i + 3) % n) / n;
+    y2[i] = (DATA_TYPE)((i + 4) % n) / n;
+    for (j = 0; j < n; j++)
+      A[i][j] = (DATA_TYPE)(i * j % n) / n;
+  }
+}
+
+static void print_array(int n)
+{
+  int i;
+  for (i = 0; i < n; i++)
+    fprintf(stderr, "%0.2lf %0.2lf ", x1[i], x2[i]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_mvt(int n)
+{
+  int i, j;
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      x1[i] = x1[i] + A[i][j] * y1[j];
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  init_array(n);
+  kernel_mvt(n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    n = dims["N"]
+    return {
+        "A": init_matrix(rng, n, n),
+        "x1": init_vector(rng, n),
+        "x2": init_vector(rng, n),
+        "y1": init_vector(rng, n),
+        "y2": init_vector(rng, n),
+    }
+
+
+def reference(inputs: Arrays) -> Arrays:
+    x1 = inputs["x1"] + inputs["A"] @ inputs["y1"]
+    x2 = inputs["x2"] + inputs["A"].T @ inputs["y2"]
+    return {"x1": x1, "x2": x2}
+
+
+APP = BenchmarkApp(
+    name="mvt",
+    source=SOURCE,
+    kernels=("kernel_mvt",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="linear-algebra/kernels",
+)

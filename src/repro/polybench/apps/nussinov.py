@@ -1,0 +1,129 @@
+"""nussinov: RNA secondary-structure dynamic programming."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, scaled
+
+SIZES = {"N": 2500}
+
+SOURCE = r"""
+/* nussinov.c: RNA folding dynamic programming (Nussinov algorithm). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define N 2500
+#define DATA_TYPE int
+
+static DATA_TYPE seq[N];
+static DATA_TYPE table[N][N];
+
+static DATA_TYPE max_score(DATA_TYPE s1, DATA_TYPE s2)
+{
+  return s1 >= s2 ? s1 : s2;
+}
+
+static DATA_TYPE match(DATA_TYPE b1, DATA_TYPE b2)
+{
+  return b1 + b2 == 3 ? 1 : 0;
+}
+
+static void init_array(int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+    seq[i] = (i + 1) % 4;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      table[i][j] = 0;
+}
+
+static void print_array(int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+    for (j = i; j < n; j++)
+      fprintf(stderr, "%d ", table[i][j]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_nussinov(int n)
+{
+  int i, j, k;
+  for (i = n - 1; i >= 0; i--)
+  {
+#pragma omp parallel for private(k)
+    for (j = i + 1; j < n; j++)
+    {
+      if (j - 1 >= 0)
+        table[i][j] = max_score(table[i][j], table[i][j - 1]);
+      if (i + 1 < n)
+        table[i][j] = max_score(table[i][j], table[i + 1][j]);
+      if (j - 1 >= 0 && i + 1 < n)
+      {
+        if (i < j - 1)
+          table[i][j] = max_score(table[i][j], table[i + 1][j - 1] + match(seq[i], seq[j]));
+        else
+          table[i][j] = max_score(table[i][j], table[i + 1][j - 1]);
+      }
+      for (k = i + 1; k < j; k++)
+        table[i][j] = max_score(table[i][j], table[i][k] + table[k + 1][j]);
+    }
+  }
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  init_array(n);
+  kernel_nussinov(n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    n = dims["N"]
+    seq = np.mod(np.arange(1, n + 1), 4).astype(np.int64)
+    return {"seq": seq}
+
+
+def reference(inputs: Arrays) -> Arrays:
+    seq = inputs["seq"]
+    n = len(seq)
+    table = np.zeros((n, n), dtype=np.int64)
+    for i in range(n - 1, -1, -1):
+        for j in range(i + 1, n):
+            best = table[i, j]
+            if j - 1 >= 0:
+                best = max(best, table[i, j - 1])
+            if i + 1 < n:
+                best = max(best, table[i + 1, j])
+            if j - 1 >= 0 and i + 1 < n:
+                pair = 1 if seq[i] + seq[j] == 3 else 0
+                if i < j - 1:
+                    best = max(best, table[i + 1, j - 1] + pair)
+                else:
+                    best = max(best, table[i + 1, j - 1])
+            if j > i + 1:
+                split = table[i, i + 1 : j] + table[i + 2 : j + 1, j]
+                if split.size:
+                    best = max(best, int(split.max()))
+            table[i, j] = best
+    return {"table": table}
+
+
+APP = BenchmarkApp(
+    name="nussinov",
+    source=SOURCE,
+    kernels=("kernel_nussinov",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="medley",
+)

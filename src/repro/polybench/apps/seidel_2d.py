@@ -1,0 +1,95 @@
+"""seidel-2d: 2-D Gauss-Seidel nine-point stencil over TSTEPS steps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, scaled
+
+SIZES = {"N": 2000, "TSTEPS": 500}
+
+SOURCE = r"""
+/* seidel-2d.c: 2-D Gauss-Seidel stencil over TSTEPS time steps. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define N 2000
+#define TSTEPS 500
+#define DATA_TYPE double
+
+static DATA_TYPE A[N][N];
+
+static void init_array(int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      A[i][j] = ((DATA_TYPE)i * (j + 2) + 2) / n;
+}
+
+static void print_array(int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      fprintf(stderr, "%0.2lf ", A[i][j]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_seidel_2d(int tsteps, int n)
+{
+  int t, i, j;
+  for (t = 0; t <= tsteps - 1; t++)
+#pragma omp parallel for private(j)
+    for (i = 1; i <= n - 2; i++)
+      for (j = 1; j <= n - 2; j++)
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1] + A[i][j - 1] + A[i][j] + A[i][j + 1] + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  int tsteps = TSTEPS;
+  init_array(n);
+  kernel_seidel_2d(tsteps, n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    n = dims["N"]
+    i = np.arange(n, dtype=np.float64)[:, None]
+    j = np.arange(n, dtype=np.float64)[None, :]
+    return {"A": (i * (j + 2.0) + 2.0) / n, "tsteps": np.int64(dims["TSTEPS"])}
+
+
+def reference(inputs: Arrays) -> Arrays:
+    a = inputs["A"].copy()
+    n = a.shape[0]
+    for _ in range(int(inputs["tsteps"])):
+        # Gauss-Seidel updates in place: row-major sweep with true
+        # sequential dependencies, so the loop nest cannot vectorize.
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i, j] = (
+                    a[i - 1, j - 1] + a[i - 1, j] + a[i - 1, j + 1]
+                    + a[i, j - 1] + a[i, j] + a[i, j + 1]
+                    + a[i + 1, j - 1] + a[i + 1, j] + a[i + 1, j + 1]
+                ) / 9.0
+    return {"A": a}
+
+
+APP = BenchmarkApp(
+    name="seidel-2d",
+    source=SOURCE,
+    kernels=("kernel_seidel_2d",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="stencils",
+)

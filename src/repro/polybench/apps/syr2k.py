@@ -1,0 +1,110 @@
+"""syr2k: symmetric rank-2k update, C := alpha*(A.B^T + B.A^T) + beta*C."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, scaled
+
+SIZES = {"M": 1000, "N": 1200}
+
+SOURCE = r"""
+/* syr2k.c: symmetric rank-2k update (lower triangular). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define M 1000
+#define N 1200
+#define DATA_TYPE double
+
+static DATA_TYPE C[N][N];
+static DATA_TYPE A[N][M];
+static DATA_TYPE B[N][M];
+
+static void init_array(int n, int m, DATA_TYPE *alpha, DATA_TYPE *beta)
+{
+  int i, j;
+  *alpha = 1.5;
+  *beta = 1.2;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < m; j++)
+    {
+      A[i][j] = (DATA_TYPE)((i * j + 1) % n) / n;
+      B[i][j] = (DATA_TYPE)((i * j + 2) % m) / m;
+    }
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      C[i][j] = (DATA_TYPE)((i * j + 3) % n) / m;
+}
+
+static void print_array(int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      fprintf(stderr, "%0.2lf ", C[i][j]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_syr2k(int n, int m, DATA_TYPE alpha, DATA_TYPE beta)
+{
+  int i, j, k;
+#pragma omp parallel for private(j, k)
+  for (i = 0; i < n; i++)
+  {
+    for (j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < m; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+  }
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  int m = M;
+  DATA_TYPE alpha;
+  DATA_TYPE beta;
+  init_array(n, m, &alpha, &beta);
+  kernel_syr2k(n, m, alpha, beta);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    m, n = dims["M"], dims["N"]
+    return {
+        "alpha": np.float64(1.5),
+        "beta": np.float64(1.2),
+        "A": init_matrix(rng, n, m),
+        "B": init_matrix(rng, n, m),
+        "C": init_matrix(rng, n, n),
+    }
+
+
+def reference(inputs: Arrays) -> Arrays:
+    alpha, beta = inputs["alpha"], inputs["beta"]
+    a, b, c = inputs["A"], inputs["B"], inputs["C"].copy()
+    n = c.shape[0]
+    full = alpha * (a @ b.T + b @ a.T)
+    lower = np.tril_indices(n)
+    c_out = c.copy()
+    c_out[lower] = beta * c[lower] + full[lower]
+    return {"C": c_out}
+
+
+APP = BenchmarkApp(
+    name="syr2k",
+    source=SOURCE,
+    kernels=("kernel_syr2k",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="linear-algebra/blas",
+)

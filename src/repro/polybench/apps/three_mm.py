@@ -1,0 +1,129 @@
+"""3mm: three matrix multiplications, G := (A*B) * (C*D)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, scaled
+
+SIZES = {"NI": 800, "NJ": 900, "NK": 1000, "NL": 1100, "NM": 1200}
+
+SOURCE = r"""
+/* 3mm.c: 3 matrix multiplications (E := A.B, F := C.D, G := E.F). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define NI 800
+#define NJ 900
+#define NK 1000
+#define NL 1100
+#define NM 1200
+#define DATA_TYPE double
+
+static DATA_TYPE E[NI][NJ];
+static DATA_TYPE A[NI][NK];
+static DATA_TYPE B[NK][NJ];
+static DATA_TYPE F[NJ][NL];
+static DATA_TYPE C[NJ][NM];
+static DATA_TYPE D[NM][NL];
+static DATA_TYPE G[NI][NL];
+
+static void init_array(int ni, int nj, int nk, int nl, int nm)
+{
+  int i, j;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nk; j++)
+      A[i][j] = (DATA_TYPE)((i * j + 1) % ni) / (5 * ni);
+  for (i = 0; i < nk; i++)
+    for (j = 0; j < nj; j++)
+      B[i][j] = (DATA_TYPE)((i * (j + 1) + 2) % nj) / (5 * nj);
+  for (i = 0; i < nj; i++)
+    for (j = 0; j < nm; j++)
+      C[i][j] = (DATA_TYPE)(i * (j + 3) % nl) / (5 * nl);
+  for (i = 0; i < nm; i++)
+    for (j = 0; j < nl; j++)
+      D[i][j] = (DATA_TYPE)((i * (j + 2) + 2) % nk) / (5 * nk);
+}
+
+static void print_array(int ni, int nl)
+{
+  int i, j;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+      fprintf(stderr, "%0.2lf ", G[i][j]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_3mm(int ni, int nj, int nk, int nl, int nm)
+{
+  int i, j, k;
+#pragma omp parallel for private(j, k)
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nj; j++)
+    {
+      E[i][j] = 0.0;
+      for (k = 0; k < nk; k++)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+#pragma omp parallel for private(j, k)
+  for (i = 0; i < nj; i++)
+    for (j = 0; j < nl; j++)
+    {
+      F[i][j] = 0.0;
+      for (k = 0; k < nm; k++)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+#pragma omp parallel for private(j, k)
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+    {
+      G[i][j] = 0.0;
+      for (k = 0; k < nj; k++)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+}
+
+int main(int argc, char **argv)
+{
+  int ni = NI;
+  int nj = NJ;
+  int nk = NK;
+  int nl = NL;
+  int nm = NM;
+  init_array(ni, nj, nk, nl, nm);
+  kernel_3mm(ni, nj, nk, nl, nm);
+  if (argc > 42)
+    print_array(ni, nl);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    ni, nj, nk, nl, nm = dims["NI"], dims["NJ"], dims["NK"], dims["NL"], dims["NM"]
+    return {
+        "A": init_matrix(rng, ni, nk),
+        "B": init_matrix(rng, nk, nj),
+        "C": init_matrix(rng, nj, nm),
+        "D": init_matrix(rng, nm, nl),
+    }
+
+
+def reference(inputs: Arrays) -> Arrays:
+    e = inputs["A"] @ inputs["B"]
+    f = inputs["C"] @ inputs["D"]
+    g = e @ f
+    return {"E": e, "F": f, "G": g}
+
+
+APP = BenchmarkApp(
+    name="3mm",
+    source=SOURCE,
+    kernels=("kernel_3mm",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="linear-algebra/kernels",
+)

@@ -1,0 +1,122 @@
+"""2mm: two matrix multiplications, D := alpha*A*B*C + beta*D."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, scaled
+
+SIZES = {"NI": 800, "NJ": 900, "NK": 1100, "NL": 1200}
+
+SOURCE = r"""
+/* 2mm.c: 2 matrix multiplications (D := alpha.A.B.C + beta.D). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define NI 800
+#define NJ 900
+#define NK 1100
+#define NL 1200
+#define DATA_TYPE double
+
+static DATA_TYPE tmp[NI][NJ];
+static DATA_TYPE A[NI][NK];
+static DATA_TYPE B[NK][NJ];
+static DATA_TYPE C[NJ][NL];
+static DATA_TYPE D[NI][NL];
+
+static void init_array(int ni, int nj, int nk, int nl, DATA_TYPE *alpha, DATA_TYPE *beta)
+{
+  int i, j;
+  *alpha = 1.5;
+  *beta = 1.2;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nk; j++)
+      A[i][j] = (DATA_TYPE)((i * j + 1) % ni) / ni;
+  for (i = 0; i < nk; i++)
+    for (j = 0; j < nj; j++)
+      B[i][j] = (DATA_TYPE)(i * (j + 1) % nj) / nj;
+  for (i = 0; i < nj; i++)
+    for (j = 0; j < nl; j++)
+      C[i][j] = (DATA_TYPE)((i * (j + 3) + 1) % nl) / nl;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+      D[i][j] = (DATA_TYPE)(i * (j + 2) % nk) / nk;
+}
+
+static void print_array(int ni, int nl)
+{
+  int i, j;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+      fprintf(stderr, "%0.2lf ", D[i][j]);
+  fprintf(stderr, "\n");
+}
+
+void kernel_2mm(int ni, int nj, int nk, int nl, DATA_TYPE alpha, DATA_TYPE beta)
+{
+  int i, j, k;
+#pragma omp parallel for private(j, k)
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nj; j++)
+    {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < nk; k++)
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+#pragma omp parallel for private(j, k)
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+    {
+      D[i][j] *= beta;
+      for (k = 0; k < nj; k++)
+        D[i][j] += tmp[i][k] * C[k][j];
+    }
+}
+
+int main(int argc, char **argv)
+{
+  int ni = NI;
+  int nj = NJ;
+  int nk = NK;
+  int nl = NL;
+  DATA_TYPE alpha;
+  DATA_TYPE beta;
+  init_array(ni, nj, nk, nl, &alpha, &beta);
+  kernel_2mm(ni, nj, nk, nl, alpha, beta);
+  if (argc > 42)
+    print_array(ni, nl);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    ni, nj, nk, nl = dims["NI"], dims["NJ"], dims["NK"], dims["NL"]
+    return {
+        "alpha": np.float64(1.5),
+        "beta": np.float64(1.2),
+        "A": init_matrix(rng, ni, nk),
+        "B": init_matrix(rng, nk, nj),
+        "C": init_matrix(rng, nj, nl),
+        "D": init_matrix(rng, ni, nl),
+    }
+
+
+def reference(inputs: Arrays) -> Arrays:
+    tmp = inputs["alpha"] * (inputs["A"] @ inputs["B"])
+    d_out = inputs["beta"] * inputs["D"] + tmp @ inputs["C"]
+    return {"D": d_out, "tmp": tmp}
+
+
+APP = BenchmarkApp(
+    name="2mm",
+    source=SOURCE,
+    kernels=("kernel_2mm",),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="linear-algebra/kernels",
+)

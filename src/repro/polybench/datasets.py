@@ -1,0 +1,130 @@
+"""Polybench dataset presets (MINI .. EXTRALARGE).
+
+Polybench/C ships five dataset sizes per benchmark, selected at compile
+time through ``-DMINI_DATASET`` etc.  The tables below follow the
+Polybench 4.2 headers for the common sizes; the suite's default in this
+reproduction (the values baked into the benchmark sources) is LARGE,
+matching the paper's evaluation platform scale.  A few EXTRALARGE
+entries are approximated as 2x LARGE where the original headers
+diverge — they serve scaling experiments, not Table-value fidelity.
+
+Use together with
+:func:`repro.polybench.workload.profile_kernel`::
+
+    profile = profile_kernel(app, size_overrides=dataset_sizes("2mm", "MEDIUM"))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+PRESETS = ("MINI", "SMALL", "MEDIUM", "LARGE", "EXTRALARGE")
+
+DATASETS: Mapping[str, Mapping[str, Dict[str, int]]] = {
+    "2mm": {
+        "MINI": {"NI": 16, "NJ": 18, "NK": 22, "NL": 24},
+        "SMALL": {"NI": 40, "NJ": 50, "NK": 70, "NL": 80},
+        "MEDIUM": {"NI": 180, "NJ": 190, "NK": 210, "NL": 220},
+        "LARGE": {"NI": 800, "NJ": 900, "NK": 1100, "NL": 1200},
+        "EXTRALARGE": {"NI": 1600, "NJ": 1800, "NK": 2200, "NL": 2400},
+    },
+    "3mm": {
+        "MINI": {"NI": 16, "NJ": 18, "NK": 20, "NL": 22, "NM": 24},
+        "SMALL": {"NI": 40, "NJ": 50, "NK": 60, "NL": 70, "NM": 80},
+        "MEDIUM": {"NI": 180, "NJ": 190, "NK": 200, "NL": 210, "NM": 220},
+        "LARGE": {"NI": 800, "NJ": 900, "NK": 1000, "NL": 1100, "NM": 1200},
+        "EXTRALARGE": {"NI": 1600, "NJ": 1800, "NK": 2000, "NL": 2200, "NM": 2400},
+    },
+    "atax": {
+        "MINI": {"M": 38, "N": 42},
+        "SMALL": {"M": 116, "N": 124},
+        "MEDIUM": {"M": 390, "N": 410},
+        "LARGE": {"M": 1900, "N": 2100},
+        "EXTRALARGE": {"M": 3800, "N": 4200},
+    },
+    "correlation": {
+        "MINI": {"M": 28, "N": 32},
+        "SMALL": {"M": 80, "N": 100},
+        "MEDIUM": {"M": 240, "N": 260},
+        "LARGE": {"M": 1200, "N": 1400},
+        "EXTRALARGE": {"M": 2600, "N": 3000},
+    },
+    "doitgen": {
+        "MINI": {"NQ": 8, "NR": 10, "NP": 12},
+        "SMALL": {"NQ": 20, "NR": 25, "NP": 30},
+        "MEDIUM": {"NQ": 40, "NR": 50, "NP": 60},
+        "LARGE": {"NQ": 140, "NR": 150, "NP": 160},
+        "EXTRALARGE": {"NQ": 220, "NR": 250, "NP": 270},
+    },
+    "gemver": {
+        "MINI": {"N": 40},
+        "SMALL": {"N": 120},
+        "MEDIUM": {"N": 400},
+        "LARGE": {"N": 2000},
+        "EXTRALARGE": {"N": 4000},
+    },
+    "jacobi-2d": {
+        "MINI": {"N": 30, "TSTEPS": 20},
+        "SMALL": {"N": 90, "TSTEPS": 40},
+        "MEDIUM": {"N": 250, "TSTEPS": 100},
+        "LARGE": {"N": 1300, "TSTEPS": 500},
+        "EXTRALARGE": {"N": 2800, "TSTEPS": 1000},
+    },
+    "mvt": {
+        "MINI": {"N": 40},
+        "SMALL": {"N": 120},
+        "MEDIUM": {"N": 400},
+        "LARGE": {"N": 2000},
+        "EXTRALARGE": {"N": 4000},
+    },
+    "nussinov": {
+        "MINI": {"N": 60},
+        "SMALL": {"N": 180},
+        "MEDIUM": {"N": 500},
+        "LARGE": {"N": 2500},
+        "EXTRALARGE": {"N": 5500},
+    },
+    "seidel-2d": {
+        "MINI": {"N": 40, "TSTEPS": 20},
+        "SMALL": {"N": 120, "TSTEPS": 40},
+        "MEDIUM": {"N": 400, "TSTEPS": 100},
+        "LARGE": {"N": 2000, "TSTEPS": 500},
+        "EXTRALARGE": {"N": 4000, "TSTEPS": 1000},
+    },
+    "syr2k": {
+        "MINI": {"M": 20, "N": 30},
+        "SMALL": {"M": 60, "N": 80},
+        "MEDIUM": {"M": 200, "N": 240},
+        "LARGE": {"M": 1000, "N": 1200},
+        "EXTRALARGE": {"M": 2000, "N": 2600},
+    },
+    "syrk": {
+        "MINI": {"M": 20, "N": 30},
+        "SMALL": {"M": 60, "N": 80},
+        "MEDIUM": {"M": 200, "N": 240},
+        "LARGE": {"M": 1000, "N": 1200},
+        "EXTRALARGE": {"M": 2000, "N": 2600},
+    },
+}
+
+
+def dataset_sizes(app_name: str, preset: str) -> Dict[str, int]:
+    """Dimension macros of ``app_name`` at dataset ``preset``.
+
+    Raises ``KeyError`` with the valid options on unknown inputs.
+    """
+    try:
+        presets = DATASETS[app_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {app_name!r}; valid: {sorted(DATASETS)}"
+        ) from None
+    preset = preset.upper()
+    try:
+        return dict(presets[preset])
+    except KeyError:
+        raise KeyError(f"unknown preset {preset!r}; valid: {PRESETS}") from None
+
+
+def preset_names() -> List[str]:
+    return list(PRESETS)

@@ -1,0 +1,119 @@
+"""Extra (non-Table-I) applications exercising multi-kernel weaving.
+
+The paper's methodology "targets applications with one or more kernels
+representing different phases of the computation"; the twelve
+evaluation benchmarks all expose one kernel, so this module provides a
+two-phase application — a gemver-style update followed by an
+atax-style solve — used by tests and examples to exercise the
+multi-kernel path of the LARA strategies (per-kernel clones, wrappers
+and call rewrites in one weaving run).
+
+Not registered in :mod:`repro.polybench.suite`: Table I and Figures
+3-5 stay exactly the paper's twelve benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polybench.apps.base import Arrays, BenchmarkApp, init_matrix, init_vector, scaled
+
+SIZES = {"N": 1500}
+
+SOURCE = r"""
+/* two_phase.c: rank-1 update phase followed by a normal-equations phase. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <omp.h>
+#define N 1500
+#define DATA_TYPE double
+
+static DATA_TYPE A[N][N];
+static DATA_TYPE u[N];
+static DATA_TYPE v[N];
+static DATA_TYPE x[N];
+static DATA_TYPE y[N];
+static DATA_TYPE tmp[N];
+
+static void init_array(int n)
+{
+  int i, j;
+  for (i = 0; i < n; i++)
+  {
+    u[i] = (DATA_TYPE)((i + 1) % n) / n;
+    v[i] = (DATA_TYPE)((i + 2) % n) / n;
+    x[i] = (DATA_TYPE)((i + 3) % n) / n;
+    for (j = 0; j < n; j++)
+      A[i][j] = (DATA_TYPE)(i * j % n) / n;
+  }
+}
+
+void kernel_update(int n)
+{
+  int i, j;
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      A[i][j] = A[i][j] + u[i] * v[j];
+}
+
+void kernel_solve(int n)
+{
+  int i, j;
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+  {
+    tmp[i] = 0.0;
+    for (j = 0; j < n; j++)
+      tmp[i] += A[i][j] * x[j];
+  }
+#pragma omp parallel for private(i)
+  for (j = 0; j < n; j++)
+  {
+    y[j] = 0.0;
+    for (i = 0; i < n; i++)
+      y[j] += A[i][j] * tmp[i];
+  }
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  init_array(n);
+  kernel_update(n);
+  kernel_solve(n);
+  if (argc > 42)
+    fprintf(stderr, "%f\n", y[0]);
+  return 0;
+}
+"""
+
+
+def make_inputs(rng: np.random.Generator, scale: float = 1.0) -> Arrays:
+    dims = scaled(SIZES, scale)
+    n = dims["N"]
+    return {
+        "A": init_matrix(rng, n, n),
+        "u": init_vector(rng, n),
+        "v": init_vector(rng, n),
+        "x": init_vector(rng, n),
+    }
+
+
+def reference(inputs: Arrays) -> Arrays:
+    a_hat = inputs["A"] + np.outer(inputs["u"], inputs["v"])
+    tmp = a_hat @ inputs["x"]
+    y = a_hat.T @ tmp
+    return {"A": a_hat, "tmp": tmp, "y": y}
+
+
+TWO_PHASE = BenchmarkApp(
+    name="two-phase",
+    source=SOURCE,
+    kernels=("kernel_update", "kernel_solve"),
+    sizes=SIZES,
+    make_inputs=make_inputs,
+    reference=reference,
+    category="extras/multi-kernel",
+)

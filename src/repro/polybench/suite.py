@@ -1,0 +1,78 @@
+"""Registry of the twelve Polybench applications from the paper.
+
+The paper's experimental campaign (Section III) uses: 2mm, 3mm, atax,
+correlation, doitgen, gemver, jacobi-2d, mvt, nussinov, seidel-2d,
+syr2k and syrk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.polybench.apps import two_mm  # noqa: F401  (registry imports)
+from repro.polybench.apps import (
+    atax,
+    correlation,
+    doitgen,
+    gemver,
+    jacobi_2d,
+    mvt,
+    nussinov,
+    seidel_2d,
+    syr2k,
+    syrk,
+    three_mm,
+)
+from repro.polybench.apps.base import BenchmarkApp
+
+_APPS: Dict[str, BenchmarkApp] = {
+    app.name: app
+    for app in (
+        two_mm.APP,
+        three_mm.APP,
+        atax.APP,
+        correlation.APP,
+        doitgen.APP,
+        gemver.APP,
+        jacobi_2d.APP,
+        mvt.APP,
+        nussinov.APP,
+        seidel_2d.APP,
+        syr2k.APP,
+        syrk.APP,
+    )
+}
+
+#: Benchmark names in the order of the paper's Table I.
+BENCHMARK_NAMES: List[str] = [
+    "2mm",
+    "3mm",
+    "atax",
+    "correlation",
+    "doitgen",
+    "gemver",
+    "jacobi-2d",
+    "mvt",
+    "nussinov",
+    "seidel-2d",
+    "syr2k",
+    "syrk",
+]
+
+
+def load(name: str) -> BenchmarkApp:
+    """Return the :class:`BenchmarkApp` registered under ``name``.
+
+    Raises ``KeyError`` with the list of valid names otherwise.
+    """
+    try:
+        return _APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; valid names: {', '.join(BENCHMARK_NAMES)}"
+        ) from None
+
+
+def all_apps() -> List[BenchmarkApp]:
+    """All twelve applications in Table I order."""
+    return [_APPS[name] for name in BENCHMARK_NAMES]

@@ -1,0 +1,473 @@
+"""Derive a performance-model view of a kernel from its source AST.
+
+The paper profiles real binaries on a real Xeon; this reproduction
+replaces the hardware with an analytical machine model
+(:mod:`repro.machine`).  The bridge between the two worlds is the
+:class:`WorkloadProfile` computed here: operation counts, memory
+behaviour and OpenMP region structure, all extracted from the *actual*
+benchmark source via CIR analyses (loop trip counts from the dataset
+``#define`` values, operation censuses per loop body, dependence
+checks for stencil kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Decl,
+    DeclGroup,
+    For,
+    FunctionDef,
+    Ident,
+    Node,
+    Pragma,
+    TranslationUnit,
+    census,
+    eval_const,
+    macro_environment,
+    walk,
+)
+from repro.cir.analysis import LoopInfo, collect_loops
+from repro.polybench.apps.base import BenchmarkApp
+
+_FLOAT_BYTES = 8.0
+_INT_BYTES = 4.0
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Per-invocation operation and memory profile of one kernel.
+
+    All counts are totals for a single call of the kernel function with
+    the benchmark's full dataset.
+    """
+
+    name: str
+    kernel: str
+    flops: float
+    int_ops: float
+    loads: float
+    stores: float
+    working_set_bytes: float
+    parallel_fraction: float
+    parallel_regions: float
+    parallel_iterations: float
+    loop_carried_dependence: bool
+    reduction_innermost: bool
+    branch_ops: float
+    call_ops: float
+    div_ops: float
+    math_calls: float
+    innermost_body_ops: float
+    innermost_trip: float
+    max_depth: int
+
+    @property
+    def total_ops(self) -> float:
+        return self.flops + self.int_ops + self.loads + self.stores
+
+    @property
+    def naive_bytes(self) -> float:
+        """Memory traffic with no cache: every access goes to DRAM."""
+        return (self.loads + self.stores) * _FLOAT_BYTES
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per naive byte — a reuse proxy for the cache model."""
+        if self.naive_bytes == 0:
+            return 0.0
+        return self.flops / self.naive_bytes
+
+    @property
+    def branch_density(self) -> float:
+        return self.branch_ops / max(1.0, self.total_ops)
+
+    @property
+    def call_density(self) -> float:
+        return self.call_ops / max(1.0, self.total_ops)
+
+    @property
+    def div_density(self) -> float:
+        return self.div_ops / max(1.0, self.flops + 1.0)
+
+    @property
+    def math_call_density(self) -> float:
+        return self.math_calls / max(1.0, self.flops + 1.0)
+
+
+class WorkloadAnalysisError(ValueError):
+    """Raised when a kernel cannot be profiled (e.g. unknown bounds)."""
+
+
+def bound_environment(
+    unit: TranslationUnit, size_overrides: Optional[Dict[str, int]] = None
+) -> Dict[str, int]:
+    """Macro values plus their lowercase aliases for loop-bound evaluation.
+
+    Polybench kernels receive dataset sizes through parameters named
+    after the macros (``int ni = NI; kernel(ni, ...)``), so binding each
+    lowercased macro name resolves the kernel-scope bounds.
+
+    ``size_overrides`` replaces macro values before aliasing — this is
+    how a different dataset size (Polybench MINI..EXTRALARGE) is
+    profiled without editing the source.
+    """
+    env = macro_environment(unit)
+    if size_overrides:
+        unknown = set(size_overrides) - set(env)
+        if unknown:
+            raise WorkloadAnalysisError(
+                f"size overrides for undefined macros: {sorted(unknown)}"
+            )
+        env.update(size_overrides)
+    aliases = {name.lower(): value for name, value in env.items()}
+    aliases.update(env)
+    return aliases
+
+
+def _loop_trip(info: LoopInfo, env: Dict[str, int]) -> float:
+    """Trip count of a loop; triangular bounds fall back to midpoints.
+
+    When a bound references an enclosing induction variable (triangular
+    loops in syrk/syr2k/nussinov/correlation), that variable is bound to
+    half of its own trip count, giving the average trip of the inner
+    loop — the right quantity for total work estimation.
+    """
+    trip = info.trip_count(env)
+    if trip is not None:
+        return float(trip)
+    # bind enclosing induction variables to their range midpoints,
+    # outermost first so dependent bounds (nussinov's k in i+1..j where
+    # j itself runs over i+1..n) resolve progressively
+    ancestors: List[LoopInfo] = []
+    ancestor = info.parent
+    while ancestor is not None:
+        ancestors.append(ancestor)
+        ancestor = ancestor.parent
+    extended = dict(env)
+    for outer in reversed(ancestors):
+        iv = outer.induction_variable
+        midpoint = outer.midpoint(extended)
+        if iv and midpoint is not None:
+            extended[iv] = midpoint
+    trip = info.trip_count(extended)
+    if trip is not None:
+        return max(1.0, float(trip))
+    raise WorkloadAnalysisError(
+        f"cannot evaluate trip count of loop with induction variable "
+        f"{info.induction_variable!r}"
+    )
+
+
+def _has_loop_carried_dependence(loop: For, parallel_iv: Optional[str]) -> bool:
+    """Heuristic dependence test for a parallel loop.
+
+    A loop carries a dependence when its body reads an array element it
+    did not itself produce, through an index that *shifts* the parallel
+    induction variable (the Gauss-Seidel ``A[i-1][j]`` and Nussinov
+    ``table[i][j-1]`` patterns).  Reads whose signature exactly matches
+    a write are local reuse (accumulators) and do not count; neither do
+    dimensions that never involve the parallel induction variable
+    (doitgen's permuted ``A[r][q][s]`` vs ``A[r][q][p]``).
+    """
+    if parallel_iv is None:
+        return False
+    writes: Dict[str, List[Tuple[str, ...]]] = {}
+    for node in walk(loop):
+        if isinstance(node, Assign) and isinstance(node.lhs, ArrayRef):
+            base = node.lhs.base
+            if isinstance(base, Ident):
+                writes.setdefault(base.name, []).append(_index_signature(node.lhs))
+    for node in walk(loop):
+        if not (isinstance(node, ArrayRef) and isinstance(node.base, Ident)):
+            continue
+        write_sigs = writes.get(node.base.name)
+        if not write_sigs:
+            continue
+        read_sig = _index_signature(node)
+        if read_sig in write_sigs:
+            continue  # exact local reuse
+        for write_sig in write_sigs:
+            if len(write_sig) != len(read_sig):
+                continue
+            for write_dim, read_dim in zip(write_sig, read_sig):
+                involves_iv = _references(write_dim, parallel_iv) or _references(
+                    read_dim, parallel_iv
+                )
+                if involves_iv and write_dim != read_dim:
+                    return True
+    return False
+
+
+def _references(index_text: str, name: str) -> bool:
+    import re
+
+    return re.search(rf"\b{re.escape(name)}\b", index_text) is not None
+
+
+def _is_reduction_loop(loop: For, iv: Optional[str]) -> bool:
+    """True when the innermost loop accumulates into a location that is
+    invariant in its own induction variable (``tmp[i][j] += ... k ...``).
+
+    GCC's vectorizer refuses such FP reductions under strict IEEE
+    semantics; ``-funsafe-math-optimizations`` unlocks them.  The
+    accumulation is recognized both as ``x += e`` and ``x = x + e``.
+    """
+    if iv is None:
+        return False
+    for node in walk(loop.body):
+        if not isinstance(node, Assign):
+            continue
+        lhs = node.lhs
+        accumulates = node.op in ("+=", "-=", "*=") or (
+            node.op == "="
+            and isinstance(node.rhs, BinOp)
+            and _expr_text(node.rhs.lhs) == _expr_text(lhs)
+        )
+        if not accumulates:
+            continue
+        if isinstance(lhs, ArrayRef):
+            if not any(_references(sig, iv) for sig in _index_signature(lhs)):
+                return True
+        elif isinstance(lhs, Ident):
+            return True
+    return False
+
+
+def _expr_text(expr) -> str:
+    from repro.cir.printer import expr_to_source
+
+    return expr_to_source(expr)
+
+
+def _index_signature(ref: ArrayRef) -> Tuple[str, ...]:
+    from repro.cir.printer import expr_to_source
+
+    return tuple(expr_to_source(index) for index in ref.indices)
+
+
+@dataclass
+class _Totals:
+    flops: float = 0.0
+    int_ops: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    branch_ops: float = 0.0
+    call_ops: float = 0.0
+    div_ops: float = 0.0
+    math_calls: float = 0.0
+    parallel_work: float = 0.0
+    total_work: float = 0.0
+    parallel_regions: float = 0.0
+    parallel_iterations: float = 0.0
+    innermost_ops_weighted: float = 0.0
+    innermost_trip_weighted: float = 0.0
+    innermost_weight: float = 0.0
+    dependence: bool = False
+    reduction: bool = False
+
+
+class _KernelProfiler:
+    """Walks one kernel function and accumulates weighted op counts."""
+
+    def __init__(self, env: Dict[str, int]) -> None:
+        self._env = env
+        self.totals = _Totals()
+        self._loop_infos: Dict[int, LoopInfo] = {}
+
+    def profile(self, func: FunctionDef) -> None:
+        for info in collect_loops(func.body):
+            self._loop_infos[id(info.node)] = info
+        self._visit_block_like(list(_block_stmts(func.body)), weight=1.0, parallel=False)
+
+    # Statements are visited in sibling order so an ``omp parallel for``
+    # pragma can mark the loop that immediately follows it.
+    def _visit_block_like(self, stmts: List[Node], weight: float, parallel: bool) -> None:
+        pending_parallel = False
+        for stmt in stmts:
+            if isinstance(stmt, Pragma):
+                if stmt.is_omp and "for" in stmt.text:
+                    pending_parallel = True
+                continue
+            if isinstance(stmt, For):
+                self._visit_loop(stmt, weight, parallel, starts_parallel=pending_parallel)
+            else:
+                self._visit_plain(stmt, weight, parallel)
+            pending_parallel = False
+
+    def _visit_loop(
+        self, loop: For, weight: float, parallel: bool, starts_parallel: bool
+    ) -> None:
+        info = self._loop_infos[id(loop)]
+        trip = _loop_trip(info, self._env)
+        totals = self.totals
+        if starts_parallel:
+            totals.parallel_regions += weight
+            totals.parallel_iterations += weight * trip
+            if _has_loop_carried_dependence(loop, info.induction_variable):
+                totals.dependence = True
+        in_parallel = parallel or starts_parallel
+        # loop-control overhead: one compare + one increment per iteration
+        control_ops = weight * trip * 2.0
+        totals.int_ops += control_ops
+        totals.total_work += control_ops
+        if in_parallel:
+            totals.parallel_work += control_ops
+        body_weight = weight * trip
+        body = loop.body
+        if isinstance(body, Block):
+            self._visit_block_like(list(_block_stmts(body)), body_weight, in_parallel)
+        else:
+            self._visit_block_like([body], body_weight, in_parallel)
+        if not info.children:
+            body_census = census(loop.body)
+            totals.innermost_ops_weighted += body_weight * body_census.total_ops
+            totals.innermost_trip_weighted += weight * trip * trip
+            totals.innermost_weight += weight * trip
+            if in_parallel and _is_reduction_loop(loop, info.induction_variable):
+                totals.reduction = True
+
+    def _visit_plain(self, stmt: Node, weight: float, parallel: bool) -> None:
+        if isinstance(stmt, (Decl, DeclGroup)) and not _decl_has_work(stmt):
+            return
+        stats = census(stmt)
+        flops = float(stats.binary_fp_ops + stats.math_calls * 10.0)
+        int_ops = float(stats.binary_int_ops + stats.assignments)
+        loads = float(stats.array_loads)
+        stores = float(stats.array_stores)
+        work = flops + int_ops + loads + stores
+        totals = self.totals
+        totals.flops += weight * flops
+        totals.int_ops += weight * int_ops
+        totals.loads += weight * loads
+        totals.stores += weight * stores
+        totals.branch_ops += weight * stats.branches
+        totals.call_ops += weight * stats.calls
+        totals.div_ops += weight * stats.divisions
+        totals.math_calls += weight * stats.math_calls
+        totals.total_work += weight * work
+        if parallel:
+            totals.parallel_work += weight * work
+        # nested non-for control flow (if/while bodies) is already part
+        # of the census of this statement, so no recursion is needed
+
+
+def _block_stmts(block: Block) -> List[Node]:
+    return block.stmts
+
+
+def _decl_has_work(stmt: Node) -> bool:
+    if isinstance(stmt, Decl):
+        return stmt.init is not None
+    if isinstance(stmt, DeclGroup):
+        return any(decl.init is not None for decl in stmt.decls)
+    return False
+
+
+def _is_floating_type(unit: TranslationUnit, type_name: str) -> bool:
+    """Resolve macro/typedef aliases (DATA_TYPE) down to float/double."""
+    from repro.cir import MacroDef, Typedef
+
+    seen = set()
+    name = type_name.split()[-1]
+    while name not in seen:
+        seen.add(name)
+        if name in ("float", "double"):
+            return True
+        for decl in unit.decls:
+            if isinstance(decl, MacroDef) and decl.name == name and decl.body:
+                name = decl.body.split()[-1]
+                break
+            if isinstance(decl, Typedef) and decl.name == name:
+                name = decl.type.name.split()[-1]
+                break
+        else:
+            return False
+    return False
+
+
+def _working_set(unit: TranslationUnit, func: FunctionDef, env: Dict[str, int]) -> float:
+    """Bytes of global arrays referenced by the kernel function."""
+    referenced = {
+        node.base.name
+        for node in walk(func)
+        if isinstance(node, ArrayRef) and isinstance(node.base, Ident)
+    }
+    total = 0.0
+    for decl in unit.decls:
+        if isinstance(decl, Decl) and decl.is_array and decl.name in referenced:
+            elements = 1.0
+            for dim in decl.array_dims:
+                value = eval_const(dim, env)
+                if value is None:
+                    raise WorkloadAnalysisError(
+                        f"array {decl.name!r} has non-constant dimension"
+                    )
+                elements *= float(value)
+            floating = _is_floating_type(unit, decl.type.name)
+            element_bytes = _FLOAT_BYTES if floating else _INT_BYTES
+            total += elements * element_bytes
+    return total
+
+
+def profile_kernel(
+    app: BenchmarkApp,
+    kernel: Optional[str] = None,
+    size_overrides: Optional[Dict[str, int]] = None,
+) -> WorkloadProfile:
+    """Compute the :class:`WorkloadProfile` of ``app``'s kernel function.
+
+    ``kernel`` defaults to the first (usually only) kernel of the app;
+    ``size_overrides`` profiles the kernel at a different dataset size
+    (e.g. ``{"NI": 200, "NJ": 220, ...}`` for a smaller 2mm).
+    """
+    unit = app.parse()
+    kernel_name = kernel or app.kernels[0]
+    func = unit.function(kernel_name)
+    env = bound_environment(unit, size_overrides)
+    profiler = _KernelProfiler(env)
+    profiler.profile(func)
+    totals = profiler.totals
+
+    from repro.cir.analysis import max_loop_depth
+
+    parallel_fraction = (
+        totals.parallel_work / totals.total_work if totals.total_work else 0.0
+    )
+    innermost_ops = (
+        totals.innermost_ops_weighted / totals.innermost_weight
+        if totals.innermost_weight
+        else 0.0
+    )
+    innermost_trip = (
+        totals.innermost_trip_weighted / totals.innermost_weight
+        if totals.innermost_weight
+        else 0.0
+    )
+    return WorkloadProfile(
+        name=app.name,
+        kernel=kernel_name,
+        flops=totals.flops,
+        int_ops=totals.int_ops,
+        loads=totals.loads,
+        stores=totals.stores,
+        working_set_bytes=_working_set(unit, func, env),
+        parallel_fraction=parallel_fraction,
+        parallel_regions=totals.parallel_regions,
+        parallel_iterations=totals.parallel_iterations,
+        loop_carried_dependence=totals.dependence,
+        reduction_innermost=totals.reduction,
+        branch_ops=totals.branch_ops,
+        call_ops=totals.call_ops,
+        div_ops=totals.div_ops,
+        math_calls=totals.math_calls,
+        innermost_body_ops=innermost_ops,
+        innermost_trip=innermost_trip,
+        max_depth=max_loop_depth(func),
+    )

@@ -1,0 +1,10 @@
+"""Terminal-friendly renderings of the paper's plots.
+
+The original figures are gnuplot boxplots and traces; this package
+renders the same data as ASCII so the benchmark harnesses (and users
+without a plotting stack) can eyeball the shapes directly.
+"""
+
+from repro.viz.ascii import boxplot, histogram, timeseries
+
+__all__ = ["boxplot", "histogram", "timeseries"]

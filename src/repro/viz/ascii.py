@@ -1,0 +1,133 @@
+"""ASCII renderings: boxplots, time series, histograms.
+
+All functions return strings (no printing), scale to a configurable
+width, and never require a display or plotting library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    column = int(round(position * (width - 1)))
+    # values outside explicit bounds clamp to the axis edges
+    return max(0, min(width - 1, column))
+
+
+def boxplot(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 60,
+    bounds: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render labelled boxplots on a shared horizontal axis.
+
+    Each row shows ``min``..``max`` whiskers (``|---``), the
+    interquartile box (``[===]``) and the median (``#``)::
+
+        2mm   |----[==#=====]-------|
+        mvt        |--[===#==]---|
+
+    ``bounds`` fixes the axis range; by default it spans all data.
+    """
+    if not series:
+        return ""
+    all_values = np.concatenate([np.asarray(vals, dtype=float) for _, vals in series])
+    lo, hi = bounds if bounds is not None else (all_values.min(), all_values.max())
+    label_width = max(len(label) for label, _ in series)
+    lines: List[str] = []
+    for label, values in series:
+        data = np.asarray(values, dtype=float)
+        row = [" "] * width
+        v_min, v_max = data.min(), data.max()
+        q1, med, q3 = np.percentile(data, [25, 50, 75])
+        c_min, c_max = _scale(v_min, lo, hi, width), _scale(v_max, lo, hi, width)
+        c_q1, c_q3 = _scale(q1, lo, hi, width), _scale(q3, lo, hi, width)
+        c_med = _scale(med, lo, hi, width)
+        for column in range(c_min, c_max + 1):
+            row[column] = "-"
+        for column in range(c_q1, c_q3 + 1):
+            row[column] = "="
+        row[c_min] = "|"
+        row[c_max] = "|"
+        if c_q1 != c_min:
+            row[c_q1] = "["
+        if c_q3 != c_max:
+            row[c_q3] = "]"
+        row[c_med] = "#"
+        lines.append(f"{label:<{label_width}s} {''.join(row)}")
+    axis = f"{'':<{label_width}s} {lo:<.3g}{'':^{max(1, width - 12)}s}{hi:>.3g}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def timeseries(
+    times: Sequence[float],
+    values: Sequence[float],
+    height: int = 10,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Render one signal over time as an ASCII chart.
+
+    Values are bucketed along the x axis (mean per bucket) and drawn
+    with ``*`` marks on a ``height``-row canvas; the y range is printed
+    on the left.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return title
+    t_lo, t_hi = times.min(), times.max()
+    buckets = np.full(width, np.nan)
+    for bucket in range(width):
+        lo = t_lo + (t_hi - t_lo) * bucket / width
+        hi = t_lo + (t_hi - t_lo) * (bucket + 1) / width
+        mask = (times >= lo) & (times <= hi if bucket == width - 1 else times < hi)
+        if mask.any():
+            buckets[bucket] = values[mask].mean()
+    v_lo = np.nanmin(buckets)
+    v_hi = np.nanmax(buckets)
+    span = v_hi - v_lo or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for column, value in enumerate(buckets):
+        if np.isnan(value):
+            continue
+        row = int(round((value - v_lo) / span * (height - 1)))
+        canvas[height - 1 - row][column] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(canvas):
+        label = v_hi if index == 0 else (v_lo if index == height - 1 else None)
+        prefix = f"{label:8.1f} |" if label is not None else f"{'':8s} |"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{'':8s} +" + "-" * width)
+    lines.append(f"{'':8s}  {t_lo:<.4g}{'':^{max(1, width - 14)}s}{t_hi:>.4g}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Render a horizontal-bar histogram of ``values``."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return title
+    counts, edges = np.histogram(data, bins=bins)
+    peak = counts.max() or 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{edges[index]:10.3g} .. {edges[index + 1]:<10.3g} |{bar} {count}")
+    return "\n".join(lines)

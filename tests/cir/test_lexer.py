@@ -1,0 +1,169 @@
+"""Unit tests for the C-subset lexer."""
+
+import pytest
+
+from repro.cir.lexer import Lexer, LexError, Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof_only(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (token,) = [t for t in tokenize("hello_1") if t.kind is not TokenKind.EOF]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "hello_1"
+
+    def test_keyword_classified(self):
+        assert kinds("for") == [TokenKind.KEYWORD]
+        assert kinds("while") == [TokenKind.KEYWORD]
+        assert kinds("double") == [TokenKind.KEYWORD]
+
+    def test_identifier_with_keyword_prefix(self):
+        tokens = texts("format intx")
+        assert tokens == ["format", "intx"]
+        assert kinds("format intx") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_underscore_identifier(self):
+        assert kinds("__socrates_version") == [TokenKind.IDENT]
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        (token,) = [t for t in tokenize("1234") if t.kind is not TokenKind.EOF]
+        assert token.kind is TokenKind.INT
+
+    def test_hex_int(self):
+        (token,) = [t for t in tokenize("0x1F") if t.kind is not TokenKind.EOF]
+        assert token.kind is TokenKind.INT
+        assert token.text == "0x1F"
+
+    def test_float_with_dot(self):
+        assert kinds("1.5") == [TokenKind.FLOAT]
+
+    def test_float_leading_dot(self):
+        assert kinds(".5") == [TokenKind.FLOAT]
+
+    def test_float_exponent(self):
+        assert kinds("1e10") == [TokenKind.FLOAT]
+        assert kinds("2.5e-3") == [TokenKind.FLOAT]
+
+    def test_float_suffix(self):
+        assert kinds("1.0f") == [TokenKind.FLOAT]
+
+    def test_int_suffixes(self):
+        assert kinds("10UL") == [TokenKind.INT]
+
+    def test_float_f_suffix_on_int_literal(self):
+        # 10f is a float by suffix
+        assert kinds("10f") == [TokenKind.FLOAT]
+
+    def test_member_access_not_float(self):
+        # a.b must not lex the dot into a number
+        assert texts("a.b") == ["a", ".", "b"]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op",
+        ["+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", "&&", "||",
+         "<<", ">>", "++", "--", "+=", "-=", "*=", "/=", "->", "?", ":", ","],
+    )
+    def test_single_operator(self, op):
+        tokens = [t for t in tokenize(op) if t.kind is not TokenKind.EOF]
+        assert len(tokens) == 1
+        assert tokens[0].text == op
+
+    def test_maximal_munch(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+
+    def test_shift_assign(self):
+        assert texts("x <<= 2") == ["x", "<<=", "2"]
+
+    def test_is_op_helper(self):
+        token = Token(TokenKind.OP, "+", 1, 1)
+        assert token.is_op("+", "-")
+        assert not token.is_op("*")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_stripped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_stripped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].col == 3
+
+
+class TestStringsAndChars:
+    def test_string_literal(self):
+        (token,) = [t for t in tokenize('"hi there"') if t.kind is not TokenKind.EOF]
+        assert token.kind is TokenKind.STRING
+        assert token.text == '"hi there"'
+
+    def test_string_with_escape(self):
+        (token,) = [t for t in tokenize(r'"a\"b"') if t.kind is not TokenKind.EOF]
+        assert token.text == r'"a\"b"'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_char_literal(self):
+        (token,) = [t for t in tokenize("'x'") if t.kind is not TokenKind.EOF]
+        assert token.kind is TokenKind.CHAR
+
+
+class TestDirectives:
+    def test_include_directive(self):
+        (token,) = [t for t in tokenize("#include <stdio.h>\n") if t.kind is not TokenKind.EOF]
+        assert token.kind is TokenKind.DIRECTIVE
+        assert token.text == "#include <stdio.h>"
+
+    def test_pragma_directive(self):
+        (token,) = [
+            t for t in tokenize("#pragma omp parallel for\n") if t.kind is not TokenKind.EOF
+        ]
+        assert token.text == "#pragma omp parallel for"
+
+    def test_directive_with_continuation(self):
+        source = "#define BIG \\\n  42\nx"
+        tokens = [t for t in tokenize(source) if t.kind is not TokenKind.EOF]
+        assert tokens[0].kind is TokenKind.DIRECTIVE
+        assert "42" in tokens[0].text
+        assert tokens[1].text == "x"
+
+    def test_hash_mid_line_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_directive_only_at_line_start_with_indent(self):
+        tokens = [t for t in tokenize("  #pragma omp for\n") if t.kind is not TokenKind.EOF]
+        assert tokens[0].kind is TokenKind.DIRECTIVE
+
+
+class TestErrorReporting:
+    def test_unexpected_char_raises_with_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a\n  $")
+        assert exc.value.line == 2
+        assert exc.value.col == 3

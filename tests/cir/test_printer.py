@@ -1,0 +1,157 @@
+"""Unit tests for the pretty-printer and logical LOC counting."""
+
+import pytest
+
+from repro.cir import logical_lines, parse, to_source
+from repro.cir.printer import expr_to_source
+
+
+def roundtrip(source):
+    unit = parse(source)
+    printed = to_source(unit)
+    reparsed = parse(printed)
+    return printed, to_source(reparsed)
+
+
+def expr_rt(text):
+    unit = parse(f"void f(void) {{ x = {text}; }}")
+    return expr_to_source(unit.function("f").body.stmts[0].expr.rhs)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "#include <stdio.h>\n",
+            "#define N 42\n",
+            "typedef unsigned long word_t;\n",
+            "static double A[4][4];\n",
+            "int add(int a, int b) { return a + b; }",
+            "void f(void) { for (i = 0; i < n; i++) x += A[i][0]; }",
+            "void f(void) { if (a > b) m = a; else m = b; }",
+            "void f(void) { while (x < 3) x++; }",
+            "void f(void) { do x++; while (x < 3); }",
+            "void f(double *alpha) { *alpha = 1.5; }",
+            'void f(void) { printf("%d\\n", x); }',
+        ],
+    )
+    def test_stable_after_one_round(self, source):
+        first, second = roundtrip(source)
+        assert first == second
+
+    def test_all_statement_kinds(self):
+        source = """
+void f(int n) {
+  int i, j;
+  double acc[4] = {0.0, 1.0, 2.0, 3.0};
+  for (i = 0; i < n; i++) {
+    if (i % 2 == 0)
+      continue;
+    if (i > 10)
+      break;
+    acc[0] += i > 3 ? 1.0 : 0.5;
+  }
+  return;
+}
+"""
+        first, second = roundtrip(source)
+        assert first == second
+
+    def test_pragmas_preserved(self):
+        source = (
+            "void f(int n) {\n"
+            "  int i;\n"
+            "#pragma omp parallel for\n"
+            "  for (i = 0; i < n; i++)\n"
+            "    x = i;\n"
+            "}\n"
+        )
+        printed = to_source(parse(source))
+        assert "#pragma omp parallel for" in printed
+
+    def test_function_pragma_printed_before_signature(self):
+        source = "#pragma GCC optimize (\"O2\")\nvoid f(void) { }\n"
+        printed = to_source(parse(source))
+        lines = [l for l in printed.splitlines() if l.strip()]
+        assert lines[0].startswith("#pragma GCC optimize")
+        assert lines[1].startswith("void f")
+
+
+class TestExpressionPrinting:
+    def test_precedence_parentheses_inserted(self):
+        assert expr_rt("(a + b) * c") == "(a + b) * c"
+
+    def test_no_redundant_parentheses(self):
+        assert expr_rt("a + b * c") == "a + b * c"
+
+    def test_nested_unary(self):
+        assert expr_rt("-(a + b)") == "-(a + b)"
+
+    def test_cast_printed(self):
+        assert expr_rt("(double)x / n") == "(double)x / n"
+
+    def test_array_ref_chain(self):
+        assert expr_rt("A[i][j]") == "A[i][j]"
+
+    def test_call_args(self):
+        assert expr_rt("f(a, b)") == "f(a, b)"
+
+    def test_ternary(self):
+        assert expr_rt("a > b ? a : b") == "a > b ? a : b"
+
+    def test_assignment_in_expression(self):
+        unit = parse("void f(void) { a = b = 1; }")
+        text = expr_to_source(unit.function("f").body.stmts[0].expr)
+        assert text == "a = b = 1"
+
+    def test_left_assoc_subtraction_parens(self):
+        # a - (b - c) must keep its parentheses
+        assert expr_rt("a - (b - c)") == "a - (b - c)"
+
+    def test_postfix_increment(self):
+        assert expr_rt("i++") == "i++"
+
+
+class TestLogicalLines:
+    def test_empty_function_is_one_line(self):
+        assert logical_lines(parse("void f(void) { }")) == 1
+
+    def test_braces_do_not_count(self):
+        flat = parse("void f(void) { x = 1; }")
+        nested = parse("void f(void) { { { x = 1; } } }")
+        assert logical_lines(flat) == logical_lines(nested) == 2
+
+    def test_control_headers_count(self):
+        unit = parse("void f(void) { for (;;) { x = 1; } }")
+        assert logical_lines(unit) == 3  # signature + for + assignment
+
+    def test_else_counts(self):
+        with_else = parse("void f(void) { if (a) x = 1; else x = 2; }")
+        without = parse("void f(void) { if (a) x = 1; }")
+        assert logical_lines(with_else) == logical_lines(without) + 2
+
+    def test_pragma_counts(self):
+        source = (
+            "void f(int n) {\n"
+            "  int i;\n"
+            "#pragma omp parallel for\n"
+            "  for (i = 0; i < n; i++)\n"
+            "    x = i;\n"
+            "}\n"
+        )
+        assert logical_lines(parse(source)) == 5
+
+    def test_directives_count(self):
+        unit = parse("#include <stdio.h>\n#define N 4\n")
+        assert logical_lines(unit) == 2
+
+    def test_comma_declaration_is_one_line(self):
+        unit = parse("void f(void) { int i, j, k; }")
+        assert logical_lines(unit) == 2
+
+    def test_empty_statement_free(self):
+        unit = parse("void f(void) { ; }")
+        assert logical_lines(unit) == 1
+
+    def test_prototype_counts_one(self):
+        assert logical_lines(parse("int f(int x);")) == 1

@@ -1,0 +1,196 @@
+"""Tests for the `socrates` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--threads", "1,4,16", "--repetitions", "2"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["list"],
+            ["features", "2mm"],
+            ["weave", "2mm", "--source"],
+            ["build", "2mm", "--oplist", "x.json"],
+            ["fig4", "--app", "mvt", "--steps", "5"],
+            ["fig5", "--duration", "30"],
+            ["table1"],
+        ],
+    )
+    def test_valid_invocations_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "2mm" in out and "seidel-2d" in out
+
+    def test_features(self, capsys):
+        assert main(["features", "mvt"]) == 0
+        out = capsys.readouterr().out
+        assert "ft16_loops" in out
+
+    def test_features_unknown_app_fails(self, capsys):
+        assert main(["features", "nope"]) == 2
+
+    def test_weave_metrics_only(self, capsys):
+        assert main(["weave", "mvt"]) == 0
+        out = capsys.readouterr().out
+        assert "Att=" in out and "Bloat=" in out
+        assert "#pragma GCC optimize" not in out
+
+    def test_weave_with_source(self, capsys):
+        assert main(["weave", "mvt", "--source"]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma GCC optimize" in out
+        assert "kernel_mvt__wrapper" in out
+
+    def test_build_writes_artifacts(self, tmp_path, capsys):
+        oplist = tmp_path / "kb.json"
+        source = tmp_path / "adaptive.c"
+        code = main(
+            ["build", "mvt", "--oplist", str(oplist), "--source-out", str(source)]
+            + FAST
+        )
+        assert code == 0
+        assert oplist.exists() and source.exists()
+        document = json.loads(oplist.read_text())
+        assert document["format"] == 1
+        assert len(document["points"]) == 8 * 3 * 2
+        assert "margot_init();" in source.read_text()
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--app", "mvt", "--steps", "4"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert out.count("\n") >= 5
+
+    def test_table1_row_count(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        # header + 12 benchmarks
+        assert sum(1 for line in out.splitlines() if line.strip()) >= 13
+
+    def test_fig3_subset(self, capsys):
+        assert main(["fig3", "--apps", "mvt"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "POWER" in out and "THROUGHPUT" in out
+        assert "#" in out  # boxplot medians rendered
+
+    def test_fig5_short(self, capsys):
+        assert main(["fig5", "--app", "mvt", "--duration", "3"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Power [W]" in out and "OMP threads" in out
+
+    def test_trace_from_config(self, tmp_path, capsys):
+        config = {
+            "kernel": "mvt",
+            "states": [
+                {
+                    "name": "eff",
+                    "rank": {
+                        "direction": "maximize",
+                        "composition": "geometric",
+                        "fields": [
+                            {"metric": "throughput", "coefficient": 1.0},
+                            {"metric": "power", "coefficient": -2.0},
+                        ],
+                    },
+                },
+                {
+                    "name": "perf",
+                    "rank": {
+                        "direction": "maximize",
+                        "fields": [{"metric": "throughput"}],
+                    },
+                },
+            ],
+            "active_state": "eff",
+        }
+        config_path = tmp_path / "margot.json"
+        config_path.write_text(json.dumps(config))
+        csv_path = tmp_path / "trace.csv"
+        code = main(
+            ["trace", str(config_path), "--duration", "2", "--csv", str(csv_path)]
+            + FAST
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eff" in out and "perf" in out
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("timestamp,state,compiler")
+
+
+class TestMargotHeaderCommand:
+    def test_margot_header_to_file(self, tmp_path, capsys):
+        config = {
+            "kernel": "mvt",
+            "states": [
+                {
+                    "name": "perf",
+                    "rank": {
+                        "direction": "maximize",
+                        "fields": [{"metric": "throughput"}],
+                    },
+                }
+            ],
+        }
+        config_path = tmp_path / "margot.json"
+        config_path.write_text(json.dumps(config))
+        out_path = tmp_path / "margot.h"
+        code = main(["margot-header", str(config_path), "--out", str(out_path)] + FAST)
+        assert code == 0
+        header = out_path.read_text()
+        assert "void margot_update(int *version, int *threads)" in header
+        # the generated header is parseable by the CIR frontend
+        from repro.cir import parse
+
+        assert parse(header).has_function("margot_update")
+
+
+class TestRunCommand:
+    def test_run_original(self, capsys):
+        assert main(["run", "2mm", "--size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "main() returned 0" in out
+        assert "D: shape=(6, 6)" in out
+
+    def test_run_weaved_any_version_same_checksum(self, capsys):
+        checksums = []
+        for version in ("0", "9"):
+            assert main(["run", "mvt", "--weaved", "--version", version, "--size", "6"]) == 0
+            out = capsys.readouterr().out
+            line = next(l for l in out.splitlines() if l.strip().startswith("x1:"))
+            checksums.append(line.split("checksum=")[1])
+        assert checksums[0] == checksums[1]
+
+
+class TestProfilesAndLoocv:
+    def test_profiles_table(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark" in out
+        assert sum(1 for line in out.splitlines() if line.strip()) == 13
+
+    def test_loocv_subset(self, capsys):
+        assert main(["loocv", "--apps", "mvt,atax,gemver", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "leave-one-out" in out
+        assert "mvt" in out and "random k-subset" in out

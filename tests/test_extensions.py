@@ -1,0 +1,179 @@
+"""Tests for the extension features: dataset presets, size-override
+profiling, the DVFS/turbo model, and pragma parse-back."""
+
+import pytest
+
+from repro.gcc.flags import (
+    Flag,
+    FlagConfiguration,
+    OptLevel,
+    cobayn_space,
+    parse_pragma,
+)
+from repro.machine.dvfs import TurboModel
+from repro.machine.executor import MachineExecutor
+from repro.machine.openmp import BindingPolicy, OpenMPRuntime
+from repro.machine.topology import default_machine
+from repro.polybench.datasets import DATASETS, PRESETS, dataset_sizes, preset_names
+from repro.polybench.suite import BENCHMARK_NAMES, load
+from repro.polybench.workload import WorkloadAnalysisError, profile_kernel
+
+
+class TestDatasets:
+    def test_all_benchmarks_covered(self):
+        assert set(DATASETS) == set(BENCHMARK_NAMES)
+
+    def test_all_presets_defined(self):
+        for name, presets in DATASETS.items():
+            assert set(presets) == set(PRESETS), name
+
+    def test_large_matches_source_macros(self):
+        for name in BENCHMARK_NAMES:
+            app = load(name)
+            assert dataset_sizes(name, "LARGE") == dict(app.sizes), name
+
+    def test_presets_strictly_increase(self):
+        for name in BENCHMARK_NAMES:
+            for dim in DATASETS[name]["MINI"]:
+                values = [DATASETS[name][preset][dim] for preset in PRESETS]
+                assert values == sorted(values), (name, dim)
+                assert values[0] < values[-1], (name, dim)
+
+    def test_unknown_app_and_preset(self):
+        with pytest.raises(KeyError):
+            dataset_sizes("gemm", "LARGE")
+        with pytest.raises(KeyError):
+            dataset_sizes("2mm", "GIGANTIC")
+
+    def test_preset_case_insensitive(self):
+        assert dataset_sizes("2mm", "medium") == dataset_sizes("2mm", "MEDIUM")
+
+    def test_preset_names(self):
+        assert preset_names() == list(PRESETS)
+
+
+class TestSizeOverrides:
+    def test_profile_scales_with_dataset(self):
+        app = load("2mm")
+        large = profile_kernel(app)
+        medium = profile_kernel(app, size_overrides=dataset_sizes("2mm", "MEDIUM"))
+        assert medium.flops < large.flops / 20
+        assert medium.working_set_bytes < large.working_set_bytes
+
+    def test_override_affects_trip_counts_only(self):
+        app = load("2mm")
+        medium = profile_kernel(app, size_overrides=dataset_sizes("2mm", "MEDIUM"))
+        assert medium.max_depth == 3
+        assert medium.parallel_regions == 2
+
+    def test_unknown_macro_rejected(self):
+        with pytest.raises(WorkloadAnalysisError):
+            profile_kernel(load("2mm"), size_overrides={"BOGUS": 10})
+
+    def test_mini_dataset_fits_cache(self):
+        mini = profile_kernel(load("2mm"), size_overrides=dataset_sizes("2mm", "MINI"))
+        assert mini.working_set_bytes < 1e5
+
+
+class TestTurboModel:
+    def test_single_core_fastest(self):
+        machine = default_machine()
+        omp = OpenMPRuntime(machine)
+        turbo = TurboModel()
+        f1 = turbo.frequency(machine, omp.place(1, BindingPolicy.CLOSE), False)
+        f8 = turbo.frequency(machine, omp.place(8, BindingPolicy.CLOSE), False)
+        assert f1 == turbo.single_core_turbo_hz
+        assert f8 == turbo.all_core_turbo_hz
+        assert f1 > f8 > turbo.min_hz
+
+    def test_spread_keeps_higher_clocks(self):
+        # 8 threads spread = 4 busy cores per socket -> higher turbo bin
+        machine = default_machine()
+        omp = OpenMPRuntime(machine)
+        turbo = TurboModel()
+        close = turbo.frequency(machine, omp.place(8, BindingPolicy.CLOSE), False)
+        spread = turbo.frequency(machine, omp.place(8, BindingPolicy.SPREAD), False)
+        assert spread > close
+
+    def test_avx_offset_applies(self):
+        machine = default_machine()
+        omp = OpenMPRuntime(machine)
+        turbo = TurboModel()
+        scalar = turbo.frequency(machine, omp.place(4, BindingPolicy.CLOSE), False)
+        vector = turbo.frequency(machine, omp.place(4, BindingPolicy.CLOSE), True)
+        assert vector == pytest.approx(scalar - turbo.avx_offset_hz)
+
+    def test_power_factor_grows_with_clock(self):
+        turbo = TurboModel()
+        assert turbo.power_factor(3.2e9) > turbo.power_factor(2.4e9) == 1.0
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError):
+            TurboModel(all_core_turbo_hz=3.4e9, single_core_turbo_hz=3.2e9)
+
+    def test_executor_with_turbo_speeds_up_small_teams(self):
+        from repro.gcc.compiler import Compiler
+
+        machine = default_machine()
+        omp = OpenMPRuntime(machine)
+        compiled = Compiler().compile(
+            profile_kernel(load("3mm")), FlagConfiguration(OptLevel.O2)
+        )
+        base = MachineExecutor(machine)
+        boosted = MachineExecutor(machine, turbo=TurboModel())
+        placement = omp.place(1, BindingPolicy.CLOSE)
+        assert (
+            boosted.evaluate(compiled, placement).time_s
+            < base.evaluate(compiled, placement).time_s
+        )
+
+    def test_turbo_raises_power_at_full_load(self):
+        from repro.gcc.compiler import Compiler
+
+        machine = default_machine()
+        omp = OpenMPRuntime(machine)
+        compiled = Compiler().compile(
+            profile_kernel(load("3mm")), FlagConfiguration(OptLevel.O2)
+        )
+        base = MachineExecutor(machine)
+        boosted = MachineExecutor(machine, turbo=TurboModel())
+        placement = omp.place(16, BindingPolicy.CLOSE)
+        assert (
+            boosted.evaluate(compiled, placement).power_w
+            > base.evaluate(compiled, placement).power_w
+        )
+
+
+class TestPragmaParseBack:
+    def test_round_trip_whole_space(self):
+        for config in cobayn_space():
+            assert parse_pragma(config.pragma_text) == config
+
+    def test_accepts_bare_body(self):
+        assert parse_pragma('("O2,no-ivopts")') == FlagConfiguration(
+            OptLevel.O2, frozenset({Flag.NO_IVOPTS})
+        )
+
+    def test_rejects_unknown_entry(self):
+        with pytest.raises(ValueError):
+            parse_pragma('GCC optimize ("O2,frobnicate")')
+
+    def test_requires_level(self):
+        with pytest.raises(ValueError):
+            parse_pragma('GCC optimize ("no-ivopts")')
+
+    def test_weaved_source_pragmas_map_to_configs(self):
+        """Every GCC pragma in a weaved benchmark parses back to one of
+        the configurations the Multiversioning strategy was given."""
+        from repro.cir import walk
+        from repro.gcc.flags import paper_custom_flags, standard_levels
+        from repro.lara.metrics import weave_benchmark
+
+        configs = standard_levels() + paper_custom_flags()
+        _, weaver = weave_benchmark(load("mvt"), configs)
+        seen = set()
+        for func in weaver.unit.functions():
+            for pragma in func.pragmas:
+                if pragma.is_gcc_optimize:
+                    seen.add(parse_pragma(pragma.text))
+        assert seen == set(configs)

@@ -1,0 +1,369 @@
+"""Tests for the CIR interpreter.
+
+The flagship tests execute every Polybench benchmark source (at a tiny
+dataset) and compare the computed arrays against the numpy reference
+implementations — direct, executable evidence that the C sources and
+the functional models implement the same o = f(i).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cir import parse
+from repro.cir.interp import InterpError, Interpreter, make_cell
+from repro.polybench.suite import load
+
+
+def run_snippet(body, globals_text="", macro_overrides=None):
+    source = f"{globals_text}\nint run(void) {{ {body} }}\n"
+    interp = Interpreter(parse(source), macro_overrides=macro_overrides)
+    return interp, interp.call("run")
+
+
+class TestBasics:
+    def test_arithmetic_and_return(self):
+        _, value = run_snippet("return 2 + 3 * 4;")
+        assert value == 14
+
+    def test_c_integer_division_truncates_toward_zero(self):
+        _, value = run_snippet("return -7 / 2;")
+        assert value == -3  # python -7 // 2 == -4: must be C semantics
+
+    def test_c_modulo_sign(self):
+        _, value = run_snippet("return -7 % 2;")
+        assert value == -1
+
+    def test_float_division(self):
+        _, value = run_snippet("double a = 7.0; return a / 2.0;")
+        assert value == 3.5
+
+    def test_int_float_promotion(self):
+        _, value = run_snippet("int i = 7; double d = 2.0; return i / d;")
+        assert value == 3.5
+
+    def test_declared_int_truncates_assignment(self):
+        _, value = run_snippet("int i = 0; i = 7 / 2; return i;")
+        assert value == 3
+
+    def test_for_loop_accumulation(self):
+        _, value = run_snippet("int i, s = 0; for (i = 1; i <= 10; i++) s += i; return s;")
+        assert value == 55
+
+    def test_while_and_break(self):
+        _, value = run_snippet(
+            "int x = 1; while (1) { x = x * 2; if (x > 100) break; } return x;"
+        )
+        assert value == 128
+
+    def test_continue(self):
+        _, value = run_snippet(
+            "int i, s = 0; for (i = 0; i < 10; i++) { if (i % 2) continue; s += i; } return s;"
+        )
+        assert value == 20
+
+    def test_do_while(self):
+        _, value = run_snippet("int x = 0; do x++; while (x < 5); return x;")
+        assert value == 5
+
+    def test_ternary(self):
+        _, value = run_snippet("int a = 3, b = 9; return a > b ? a : b;")
+        assert value == 9
+
+    def test_logical_short_circuit(self):
+        # the right side would divide by zero if evaluated
+        _, value = run_snippet("int z = 0; return z != 0 && 1 / z > 0;")
+        assert value == 0
+
+    def test_prefix_postfix_increment(self):
+        _, value = run_snippet("int i = 5; int a = i++; int b = ++i; return a * 100 + b;")
+        assert value == 507
+
+    def test_comma_operator(self):
+        _, value = run_snippet("int i, j; for (i = 0, j = 10; i < 3; i++, j--) ; return j;")
+        assert value == 7
+
+    def test_block_scoping(self):
+        _, value = run_snippet("int x = 1; { int x = 2; } return x;")
+        assert value == 1
+
+
+class TestArraysAndPointers:
+    def test_array_declaration_and_indexing(self):
+        _, value = run_snippet(
+            "double a[4]; a[0] = 1.5; a[3] = a[0] * 2.0; return a[3];"
+        )
+        assert value == 3.0
+
+    def test_multidim_array(self):
+        interp, _ = run_snippet(
+            "int i, j; for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) M[i][j] = i * 10 + j; return M[2][1];",
+            globals_text="#define N 3\nstatic int M[N][N];",
+        )
+        matrix = interp.global_value("M")
+        assert matrix[2, 1] == 21
+        assert matrix.shape == (3, 3)
+
+    def test_macro_override_resizes_arrays(self):
+        interp, _ = run_snippet(
+            "return 0;", globals_text="#define N 100\nstatic double A[N][N];",
+            macro_overrides={"N": 4},
+        )
+        assert interp.global_value("A").shape == (4, 4)
+
+    def test_sized_initializer(self):
+        _, value = run_snippet("int a[3] = {7, 8, 9}; return a[1];")
+        assert value == 8
+
+    def test_unsized_initializer(self):
+        interp = Interpreter(parse("static int table[] = {5, 6, 7, 8};"))
+        assert list(interp.global_value("table")) == [5, 6, 7, 8]
+
+    def test_pointer_write_through(self):
+        source = """
+void set(double *out) { *out = 42.5; }
+double run(void) { double x = 0.0; set(&x); return x; }
+"""
+        interp = Interpreter(parse(source))
+        assert interp.call("run") == 42.5
+
+    def test_make_cell_reference(self):
+        source = "void set(int *out) { *out = 7; }"
+        interp = Interpreter(parse(source))
+        cell = make_cell(0)
+        interp.call("set", cell)
+        assert cell.get() == 7
+
+    def test_int_array_dtype(self):
+        interp = Interpreter(parse("#define N 4\nstatic int seq[N];"))
+        assert interp.global_value("seq").dtype == np.int64
+
+
+class TestFunctionsAndIntrinsics:
+    def test_function_call_and_recursion(self):
+        source = """
+int fib(int n) {
+  if (n < 2)
+    return n;
+  return fib(n - 1) + fib(n - 2);
+}
+"""
+        interp = Interpreter(parse(source))
+        assert interp.call("fib", 10) == 55
+
+    def test_math_intrinsics(self):
+        _, value = run_snippet("return sqrt(16.0) + fabs(-2.0);")
+        assert value == 6.0
+
+    def test_fprintf_captured(self):
+        source = '#include <stdio.h>\nvoid report(int x) { fprintf(stderr, "x=%d\\n", x); }'
+        interp = Interpreter(parse(source))
+        interp.call("report", 5)
+        assert interp.stderr == ["x=5\n"]
+
+    def test_custom_intrinsic(self):
+        source = "int run(void) { return magic() + 1; }"
+        interp = Interpreter(parse(source), intrinsics={"magic": lambda: 41})
+        assert interp.call("run") == 42
+
+    def test_undefined_function_raises(self):
+        interp = Interpreter(parse("int run(void) { return nope(); }"))
+        with pytest.raises(InterpError):
+            interp.call("run")
+
+    def test_wrong_arity_raises(self):
+        interp = Interpreter(parse("int f(int a) { return a; }"))
+        with pytest.raises(InterpError):
+            interp.call("f", 1, 2)
+
+    def test_step_budget_stops_infinite_loop(self):
+        interp = Interpreter(parse("void spin(void) { while (1) ; }"), max_steps=10_000)
+        with pytest.raises(InterpError):
+            interp.call("spin")
+
+    def test_omp_wtime_monotone(self):
+        _, value = run_snippet(
+            "double a = omp_get_wtime(); double b = omp_get_wtime(); return b - a;"
+        )
+        assert value > 0
+
+
+# ---------------------------------------------------------------------------
+# executing the twelve benchmarks against the numpy references
+# ---------------------------------------------------------------------------
+
+#: Per-app driver: tiny sizes, init/kernel call builders, input and
+#: output mappings between C globals and reference dict keys.
+_SCALARS = {"alpha": 1.5, "beta": 1.2}
+
+_DRIVERS = {
+    "2mm": dict(
+        sizes={"NI": 8, "NJ": 9, "NK": 10, "NL": 11},
+        init=lambda s: ("init_array", [s["NI"], s["NJ"], s["NK"], s["NL"], make_cell(), make_cell()]),
+        kernel=lambda s: ("kernel_2mm", [s["NI"], s["NJ"], s["NK"], s["NL"], 1.5, 1.2]),
+        inputs={"A": "A", "B": "B", "C": "C", "D": "D"},
+        consts=_SCALARS,
+        outputs={"D": "D"},
+    ),
+    "3mm": dict(
+        sizes={"NI": 6, "NJ": 7, "NK": 8, "NL": 9, "NM": 10},
+        init=lambda s: ("init_array", [s["NI"], s["NJ"], s["NK"], s["NL"], s["NM"]]),
+        kernel=lambda s: ("kernel_3mm", [s["NI"], s["NJ"], s["NK"], s["NL"], s["NM"]]),
+        inputs={"A": "A", "B": "B", "C": "C", "D": "D"},
+        consts={},
+        outputs={"E": "E", "F": "F", "G": "G"},
+    ),
+    "atax": dict(
+        sizes={"M": 8, "N": 10},
+        init=lambda s: ("init_array", [s["M"], s["N"]]),
+        kernel=lambda s: ("kernel_atax", [s["M"], s["N"]]),
+        inputs={"A": "A", "x": "x"},
+        consts={},
+        outputs={"y": "y", "tmp": "tmp"},
+    ),
+    "correlation": dict(
+        sizes={"M": 8, "N": 10},
+        init=lambda s: ("init_array", [s["M"], s["N"]]),
+        kernel=lambda s: ("kernel_correlation", [s["M"], s["N"], float(s["N"])]),
+        inputs={"data": "data"},
+        consts={},
+        outputs={"corr": "corr", "mean": "mean", "stddev": "stddev"},
+    ),
+    "doitgen": dict(
+        sizes={"NQ": 6, "NR": 7, "NP": 8},
+        init=lambda s: ("init_array", [s["NR"], s["NQ"], s["NP"]]),
+        kernel=lambda s: ("kernel_doitgen", [s["NR"], s["NQ"], s["NP"]]),
+        inputs={"A": "A", "C4": "C4"},
+        consts={},
+        outputs={"A": "A"},
+    ),
+    "gemver": dict(
+        sizes={"N": 10},
+        init=lambda s: ("init_array", [s["N"], make_cell(), make_cell()]),
+        kernel=lambda s: ("kernel_gemver", [s["N"], 1.5, 1.2]),
+        inputs={
+            "A": "A", "u1": "u1", "v1": "v1", "u2": "u2", "v2": "v2",
+            "x": "x", "w": "w", "y": "y", "z": "z",
+        },
+        consts=_SCALARS,
+        outputs={"A": "A", "x": "x", "w": "w"},
+    ),
+    "jacobi-2d": dict(
+        sizes={"N": 8, "TSTEPS": 3},
+        init=lambda s: ("init_array", [s["N"]]),
+        kernel=lambda s: ("kernel_jacobi_2d", [s["TSTEPS"], s["N"]]),
+        inputs={"A": "A", "B": "B"},
+        consts={},
+        outputs={"A": "A", "B": "B"},
+        extra_inputs=lambda s: {"tsteps": np.int64(s["TSTEPS"])},
+    ),
+    "mvt": dict(
+        sizes={"N": 8},
+        init=lambda s: ("init_array", [s["N"]]),
+        kernel=lambda s: ("kernel_mvt", [s["N"]]),
+        inputs={"A": "A", "x1": "x1", "x2": "x2", "y1": "y1", "y2": "y2"},
+        consts={},
+        outputs={"x1": "x1", "x2": "x2"},
+    ),
+    "nussinov": dict(
+        sizes={"N": 12},
+        init=lambda s: ("init_array", [s["N"]]),
+        kernel=lambda s: ("kernel_nussinov", [s["N"]]),
+        inputs={"seq": "seq"},
+        consts={},
+        outputs={"table": "table"},
+    ),
+    "seidel-2d": dict(
+        sizes={"N": 8, "TSTEPS": 2},
+        init=lambda s: ("init_array", [s["N"]]),
+        kernel=lambda s: ("kernel_seidel_2d", [s["TSTEPS"], s["N"]]),
+        inputs={"A": "A"},
+        consts={},
+        outputs={"A": "A"},
+        extra_inputs=lambda s: {"tsteps": np.int64(s["TSTEPS"])},
+    ),
+    "syr2k": dict(
+        sizes={"M": 7, "N": 8},
+        init=lambda s: ("init_array", [s["N"], s["M"], make_cell(), make_cell()]),
+        kernel=lambda s: ("kernel_syr2k", [s["N"], s["M"], 1.5, 1.2]),
+        inputs={"A": "A", "B": "B", "C": "C"},
+        consts=_SCALARS,
+        outputs={"C": "C"},
+    ),
+    "syrk": dict(
+        sizes={"M": 7, "N": 8},
+        init=lambda s: ("init_array", [s["N"], s["M"], make_cell(), make_cell()]),
+        kernel=lambda s: ("kernel_syrk", [s["N"], s["M"], 1.5, 1.2]),
+        inputs={"A": "A", "C": "C"},
+        consts=_SCALARS,
+        outputs={"C": "C"},
+    ),
+}
+
+
+class TestPolybenchExecution:
+    """Interpret each benchmark's C source and compare against the
+    numpy reference implementation, using the C init as the input."""
+
+    @pytest.mark.parametrize("name", sorted(_DRIVERS))
+    def test_kernel_matches_reference(self, name):
+        driver = _DRIVERS[name]
+        app = load(name)
+        sizes = driver["sizes"]
+        interp = Interpreter(app.parse(), macro_overrides=sizes)
+
+        init_name, init_args = driver["init"](sizes)
+        interp.call(init_name, *init_args)
+
+        inputs = {
+            key: np.array(interp.global_value(global_name), copy=True)
+            for key, global_name in driver["inputs"].items()
+        }
+        inputs.update({key: np.float64(v) for key, v in driver["consts"].items()})
+        if "extra_inputs" in driver:
+            inputs.update(driver["extra_inputs"](sizes))
+
+        kernel_name, kernel_args = driver["kernel"](sizes)
+        interp.call(kernel_name, *kernel_args)
+
+        expected = app.reference(inputs)
+        for key, global_name in driver["outputs"].items():
+            computed = np.asarray(interp.global_value(global_name), dtype=float)
+            np.testing.assert_allclose(
+                computed,
+                np.asarray(expected[key], dtype=float),
+                rtol=1e-10,
+                atol=1e-12,
+                err_msg=f"{name}: output {key!r} diverges from the reference",
+            )
+
+    def test_full_main_runs(self):
+        """main() of a benchmark executes end to end (init + kernel)."""
+        app = load("mvt")
+        interp = Interpreter(app.parse(), macro_overrides={"N": 6})
+        assert interp.run_main() == 0
+        assert interp.global_value("x1").shape == (6,)
+
+
+class TestAllMainsExecute:
+    """Smoke: every benchmark's main() (init + kernel) runs end to end
+    at a tiny dataset under the interpreter."""
+
+    _TINY = {
+        "2mm": {"NI": 5, "NJ": 5, "NK": 5, "NL": 5},
+        "3mm": {"NI": 5, "NJ": 5, "NK": 5, "NL": 5, "NM": 5},
+        "atax": {"M": 5, "N": 6},
+        "correlation": {"M": 5, "N": 6},
+        "doitgen": {"NQ": 4, "NR": 4, "NP": 5},
+        "gemver": {"N": 6},
+        "jacobi-2d": {"N": 6, "TSTEPS": 2},
+        "mvt": {"N": 6},
+        "nussinov": {"N": 8},
+        "seidel-2d": {"N": 6, "TSTEPS": 2},
+        "syr2k": {"M": 4, "N": 5},
+        "syrk": {"M": 4, "N": 5},
+    }
+
+    @pytest.mark.parametrize("name", sorted(_TINY))
+    def test_main_returns_zero(self, name):
+        interp = Interpreter(load(name).parse(), macro_overrides=self._TINY[name])
+        assert interp.run_main() == 0

@@ -1,0 +1,110 @@
+"""Tests for the Milepost-style feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.cir import parse
+from repro.milepost.features import FEATURE_NAMES, extract_features
+from repro.polybench.suite import BENCHMARK_NAMES, load
+
+SIMPLE = """
+#define N 64
+#define DATA_TYPE double
+static DATA_TYPE A[N][N];
+void kernel_simple(int n, DATA_TYPE alpha)
+{
+  int i, j;
+#pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      A[i][j] += alpha * A[i][j] / 2.0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def simple_features():
+    return extract_features(parse(SIMPLE), "kernel_simple")
+
+
+class TestFeatureVector:
+    def test_schema_complete(self, simple_features):
+        assert set(simple_features.values) == set(FEATURE_NAMES)
+
+    def test_as_array_order(self, simple_features):
+        array = simple_features.as_array()
+        assert len(array) == len(FEATURE_NAMES)
+        assert array[FEATURE_NAMES.index("ft16_loops")] == simple_features["ft16_loops"]
+
+    def test_loop_features(self, simple_features):
+        assert simple_features["ft16_loops"] == 2
+        assert simple_features["ft17_loop_nest_depth"] == 2
+        assert simple_features["ft18_innermost_loops"] == 1
+
+    def test_omp_pragma_counted(self, simple_features):
+        assert simple_features["ft20_omp_pragmas"] == 1
+
+    def test_memory_features(self, simple_features):
+        assert simple_features["ft11_array_stores"] == 1
+        assert simple_features["ft10_array_loads"] == 1
+        assert simple_features["ft24_max_array_rank"] == 2
+
+    def test_param_features(self, simple_features):
+        assert simple_features["ft21_params"] == 2
+        assert simple_features["ft22_array_params"] == 0
+
+    def test_division_features(self, simple_features):
+        assert simple_features["ft7_divisions"] == 1
+        assert simple_features["ft36_div_ratio"] > 0
+
+    def test_accumulation_detected(self, simple_features):
+        assert simple_features["ft37_accum_statements"] == 1
+        assert simple_features["ft39_reduction_loops"] == 0  # lhs varies with j
+
+    def test_stride_one_detected(self, simple_features):
+        assert simple_features["ft40_stride_one_refs"] == 2  # A[i][j] twice
+
+    def test_ratios_bounded(self, simple_features):
+        for name in ("ft29_mem_ratio", "ft30_fp_ratio", "ft32_branch_ratio",
+                     "ft33_call_ratio", "ft35_mul_ratio", "ft36_div_ratio"):
+            assert 0.0 <= simple_features[name] <= 1.0
+
+
+class TestOnPolybench:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_extraction_succeeds(self, name):
+        app = load(name)
+        vector = extract_features(app.parse(), app.kernels[0])
+        assert np.isfinite(vector.as_array()).all()
+
+    def test_kernels_are_distinguishable(self):
+        vectors = []
+        for name in BENCHMARK_NAMES:
+            app = load(name)
+            vectors.append(tuple(extract_features(app.parse(), app.kernels[0]).as_array()))
+        assert len(set(vectors)) == len(vectors)
+
+    def test_nussinov_branchiest(self):
+        branchy = {}
+        for name in ("2mm", "nussinov", "jacobi-2d"):
+            app = load(name)
+            vector = extract_features(app.parse(), app.kernels[0])
+            branchy[name] = vector["ft15_branches"]
+        assert branchy["nussinov"] > branchy["2mm"]
+        assert branchy["nussinov"] > branchy["jacobi-2d"]
+
+    def test_reduction_feature_matches_workload(self):
+        from repro.polybench.workload import profile_kernel
+
+        for name in BENCHMARK_NAMES:
+            app = load(name)
+            vector = extract_features(app.parse(), app.kernels[0])
+            profile = profile_kernel(app)
+            has_reduction_loop = vector["ft39_reduction_loops"] > 0
+            if profile.reduction_innermost:
+                assert has_reduction_loop, name
+
+    def test_depth_matches_analysis(self):
+        app = load("doitgen")
+        vector = extract_features(app.parse(), app.kernels[0])
+        assert vector["ft17_loop_nest_depth"] == 4

@@ -1,0 +1,160 @@
+"""Tests for trace export/summaries and the ASCII visualizations."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import InvocationRecord
+from repro.core.scenario import Phase, Scenario
+from repro.core.trace import (
+    summarize_phases,
+    trace_from_csv,
+    trace_to_csv,
+)
+from repro.viz.ascii import boxplot, histogram, timeseries
+
+
+def make_record(timestamp, state="s", threads=8, power=90.0, time_s=0.1):
+    return InvocationRecord(
+        timestamp=timestamp,
+        state=state,
+        compiler="-O2",
+        threads=threads,
+        binding="close",
+        time_s=time_s,
+        power_w=power,
+        energy_j=time_s * power,
+    )
+
+
+@pytest.fixture
+def trace():
+    records = []
+    for step in range(10):
+        records.append(make_record(step * 0.1, state="a", threads=4, power=70.0))
+    for step in range(10):
+        records.append(make_record(1.0 + step * 0.1, state="b", threads=16, power=120.0))
+    return records
+
+
+class TestTraceCsv:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_to_csv(trace, path)
+        loaded = trace_from_csv(path)
+        assert len(loaded) == len(trace)
+        assert loaded[0].state == "a"
+        assert loaded[-1].threads == 16
+        assert loaded[3].time_s == pytest.approx(trace[3].time_s)
+        assert loaded[3].power_w == pytest.approx(trace[3].power_w)
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,state\n0.0,a\n")
+        with pytest.raises(ValueError):
+            trace_from_csv(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        trace_to_csv([], path)
+        assert trace_from_csv(path) == []
+
+
+class TestPhaseSummary:
+    def test_summaries_split_by_phase(self, trace):
+        scenario = Scenario(
+            phases=[Phase(0.0, "a"), Phase(1.0, "b")], duration_s=2.0
+        )
+        summaries = summarize_phases(trace, scenario)
+        assert [s.state for s in summaries] == ["a", "b"]
+        assert summaries[0].invocations == 10
+        assert summaries[0].mean_power_w == pytest.approx(70.0)
+        assert summaries[1].dominant_threads == 16
+
+    def test_total_energy(self, trace):
+        scenario = Scenario(
+            phases=[Phase(0.0, "a"), Phase(1.0, "b")], duration_s=2.0
+        )
+        summaries = summarize_phases(trace, scenario)
+        assert summaries[0].total_energy_j == pytest.approx(10 * 0.1 * 70.0)
+
+    def test_throughput_property(self, trace):
+        scenario = Scenario(phases=[Phase(0.0, "a")], duration_s=2.0)
+        (summary,) = summarize_phases(trace[:10], scenario)
+        assert summary.mean_throughput == pytest.approx(10.0)
+
+    def test_empty_phase_skipped(self, trace):
+        scenario = Scenario(
+            phases=[Phase(0.0, "a"), Phase(1.0, "b"), Phase(1.9, "c")],
+            duration_s=5.0,
+        )
+        summaries = summarize_phases(trace, scenario)
+        # phase c covers 1.9..5.0 and holds the last record only
+        assert summaries[-1].state == "c"
+
+
+class TestAsciiViz:
+    def test_boxplot_structure(self):
+        rng = np.random.default_rng(0)
+        art = boxplot(
+            [("alpha", rng.normal(1.0, 0.1, 50)), ("beta", rng.normal(2.0, 0.3, 50))],
+            width=50,
+        )
+        lines = art.splitlines()
+        assert len(lines) == 3  # two rows + axis
+        assert lines[0].startswith("alpha")
+        assert "#" in lines[0] and "#" in lines[1]
+        assert "[" in lines[1] or "=" in lines[1]
+
+    def test_boxplot_median_between_whiskers(self):
+        art = boxplot([("x", [0.0, 1.0, 2.0, 3.0, 10.0])], width=40)
+        row = art.splitlines()[0]
+        assert row.index("|") < row.index("#") < row.rindex("|")
+
+    def test_boxplot_empty(self):
+        assert boxplot([]) == ""
+
+    def test_boxplot_constant_series(self):
+        art = boxplot([("const", [5.0, 5.0, 5.0])], width=30, bounds=(0.0, 10.0))
+        assert "#" in art
+
+    def test_timeseries_contains_marks_and_axis(self):
+        times = np.linspace(0, 100, 200)
+        values = 100 + 40 * (times > 50)
+        art = timeseries(times, values, height=8, width=60, title="Power")
+        lines = art.splitlines()
+        assert lines[0] == "Power"
+        assert any("*" in line for line in lines)
+        assert "140.0" in art and "100.0" in art
+
+    def test_timeseries_step_shape(self):
+        times = np.linspace(0, 10, 100)
+        values = np.where(times < 5, 0.0, 1.0)
+        art = timeseries(times, values, height=4, width=40)
+        rows = [line for line in art.splitlines() if "|" in line]
+        top = rows[0]
+        bottom = rows[-1]
+        # low phase marks on the left of the bottom row, high phase on
+        # the right of the top row
+        assert "*" in bottom[: len(bottom) // 2]
+        assert "*" in top[len(top) // 2 :]
+
+    def test_timeseries_empty(self):
+        assert timeseries([], [], title="t") == "t"
+
+    def test_histogram_counts(self):
+        art = histogram([1.0] * 10 + [2.0] * 5, bins=2, width=20)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("10")
+        assert lines[1].endswith("5")
+
+    def test_histogram_empty(self):
+        assert histogram([], title="h") == "h"
+
+
+class TestBoxplotClamping:
+    def test_values_outside_bounds_clamp_to_edges(self):
+        art = boxplot([("x", [0.5, 1.0, 5.0])], width=30, bounds=(0.0, 2.5))
+        assert art  # no IndexError; whisker sits on the right edge
+        row = art.splitlines()[0]
+        assert row.rstrip()[-1] == "|"

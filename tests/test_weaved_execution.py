@@ -1,0 +1,254 @@
+"""End-to-end execution of the weaved application + generated margot.h.
+
+The strongest validation loop in the repository: the *woven C source*
+(clones, wrapper, mARGOt calls) and the *generated adaptation header*
+(operating-point tables, constraint filter, rank loop) are executed
+together by the CIR interpreter, and the result is checked against
+both the numpy reference (functional equivalence) and the Python
+AS-RTM (selection equivalence).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cir import parse
+from repro.cir.interp import Interpreter
+from repro.margot.asrtm import ApplicationRuntimeManager
+from repro.margot.config import load_config
+from repro.margot.goal import ComparisonFunction, Goal
+from repro.margot.state import (
+    Constraint,
+    OptimizationState,
+    maximize_throughput,
+    maximize_throughput_per_watt_squared,
+    minimize_time,
+)
+from repro.polybench.suite import load
+
+
+@pytest.fixture(scope="module")
+def built_mvt(toolflow):
+    return toolflow.build(load("mvt"))
+
+
+def _states():
+    return load_config(
+        {
+            "kernel": "mvt",
+            "states": [
+                {
+                    "name": "performance",
+                    "rank": {
+                        "direction": "maximize",
+                        "fields": [{"metric": "throughput"}],
+                    },
+                },
+                {
+                    "name": "efficiency",
+                    "rank": {
+                        "direction": "maximize",
+                        "composition": "geometric",
+                        "fields": [
+                            {"metric": "throughput", "coefficient": 1.0},
+                            {"metric": "power", "coefficient": -2.0},
+                        ],
+                    },
+                },
+                {
+                    "name": "budget",
+                    "rank": {
+                        "direction": "minimize",
+                        "fields": [{"metric": "time"}],
+                    },
+                    "constraints": [
+                        {"metric": "power", "comparison": "le", "value": 90.0}
+                    ],
+                },
+            ],
+        }
+    ).states
+
+
+def _interpreter(built, states, n=8):
+    header_unit = parse(built.margot_header(states), name="margot.h")
+    return Interpreter([header_unit, built.weaver.unit], macro_overrides={"N": n})
+
+
+def _python_choice(built, state):
+    asrtm = ApplicationRuntimeManager(built.exploration.knowledge)
+    asrtm.add_state(state)
+    best = asrtm.update()
+    version = built.adaptive._versions[
+        (str(best.knob("compiler")), str(best.knob("binding")))
+    ].index
+    return version, int(best.knob("threads"))
+
+
+class TestWeavedExecution:
+    def test_main_runs_and_dispatches(self, built_mvt):
+        states = _states()
+        interp = _interpreter(built_mvt, states)
+        assert interp.run_main() == 0
+        # margot_log was reached: the weaved sequence executed fully
+        assert any("margot op=" in line for line in interp.stderr)
+
+    def test_functional_equivalence_with_reference(self, built_mvt):
+        states = _states()
+        interp = _interpreter(built_mvt, states)
+        interp.run_main()
+        n = 8
+        a = np.fromfunction(lambda i, j: (i * j % n) / n, (n, n))
+        x1_0 = np.fromfunction(lambda i: (i % n) / n, (n,))
+        x2_0 = np.fromfunction(lambda i: ((i + 1) % n) / n, (n,))
+        y1 = np.fromfunction(lambda i: ((i + 3) % n) / n, (n,))
+        y2 = np.fromfunction(lambda i: ((i + 4) % n) / n, (n,))
+        np.testing.assert_allclose(interp.global_value("x1"), x1_0 + a @ y1)
+        np.testing.assert_allclose(interp.global_value("x2"), x2_0 + a.T @ y2)
+
+    def test_c_selection_matches_python_asrtm_performance(self, built_mvt):
+        states = _states()
+        interp = _interpreter(built_mvt, states)
+        interp.run_main()  # state 0 = performance
+        version, threads = _python_choice(
+            built_mvt, OptimizationState("p", rank=maximize_throughput())
+        )
+        assert interp.global_value("__socrates_version") == version
+        assert interp.global_value("__socrates_num_threads") == threads
+
+    def test_c_selection_matches_python_asrtm_efficiency(self, built_mvt):
+        states = _states()
+        interp = _interpreter(built_mvt, states)
+        interp.call("margot_init")
+        interp.call("margot_switch_state", 1)  # efficiency
+        from repro.cir.interp import make_cell
+
+        version_cell, threads_cell = make_cell(0), make_cell(0)
+        interp.call("margot_update", version_cell, threads_cell)
+        expected_version, expected_threads = _python_choice(
+            built_mvt,
+            OptimizationState("e", rank=maximize_throughput_per_watt_squared()),
+        )
+        assert version_cell.get() == expected_version
+        assert threads_cell.get() == expected_threads
+
+    def test_c_constraint_filter_matches_python(self, built_mvt):
+        states = _states()
+        interp = _interpreter(built_mvt, states)
+        interp.call("margot_init")
+        interp.call("margot_switch_state", 2)  # budget <= 90 W
+        from repro.cir.interp import make_cell
+
+        version_cell, threads_cell = make_cell(0), make_cell(0)
+        interp.call("margot_update", version_cell, threads_cell)
+
+        state = OptimizationState("b", rank=minimize_time())
+        state.add_constraint(
+            Constraint(Goal("power", ComparisonFunction.LESS_OR_EQUAL, 90.0))
+        )
+        expected_version, expected_threads = _python_choice(built_mvt, state)
+        assert version_cell.get() == expected_version
+        assert threads_cell.get() == expected_threads
+
+    def test_switch_state_out_of_range_ignored(self, built_mvt):
+        states = _states()
+        interp = _interpreter(built_mvt, states)
+        interp.call("margot_init")
+        interp.call("margot_switch_state", 99)
+        assert interp.global_value("margot_active_state") == 0
+
+    def test_wrapper_dispatches_to_selected_clone(self, built_mvt):
+        """Force each version in turn: every clone computes the same
+        result (the knobs only change extra-functional behaviour)."""
+        states = _states()
+        results = []
+        for version_index in (0, 7, 15):
+            interp = _interpreter(built_mvt, states, n=6)
+            interp.call("init_array", 6)
+            interp.set_global("__socrates_version", version_index)
+            interp.call("kernel_mvt__wrapper", 6)
+            results.append(np.array(interp.global_value("x1"), copy=True))
+        np.testing.assert_allclose(results[0], results[1])
+        np.testing.assert_allclose(results[0], results[2])
+
+
+class TestCRelaxationFallback:
+    def test_infeasible_budget_matches_python_relaxation(self, built_mvt):
+        """With an impossible 10 W budget the generated C falls back to
+        the minimum-violation operating point, like the Python AS-RTM."""
+        states = load_config(
+            {
+                "kernel": "mvt",
+                "states": [
+                    {
+                        "name": "impossible",
+                        "rank": {
+                            "direction": "minimize",
+                            "fields": [{"metric": "time"}],
+                        },
+                        "constraints": [
+                            {"metric": "power", "comparison": "le", "value": 10.0}
+                        ],
+                    }
+                ],
+            }
+        ).states
+        interp = _interpreter(built_mvt, states)
+        interp.call("margot_init")
+        from repro.cir.interp import make_cell
+
+        version_cell, threads_cell = make_cell(0), make_cell(0)
+        interp.call("margot_update", version_cell, threads_cell)
+
+        state = OptimizationState("i", rank=minimize_time())
+        state.add_constraint(
+            Constraint(Goal("power", ComparisonFunction.LESS_OR_EQUAL, 10.0))
+        )
+        expected_version, expected_threads = _python_choice(built_mvt, state)
+        assert version_cell.get() == expected_version
+        assert threads_cell.get() == expected_threads
+
+
+class TestWeavedExecutionAcrossApps:
+    """Weave more benchmarks and execute them with stubbed mARGOt calls:
+    the weaved program must compute exactly what the original computes,
+    for every dispatched version."""
+
+    @pytest.mark.parametrize(
+        "name,result_global,tiny",
+        [
+            ("2mm", "D", {"NI": 6, "NJ": 7, "NK": 8, "NL": 9}),
+            ("atax", "y", {"M": 6, "N": 8}),
+            ("syrk", "C", {"M": 5, "N": 6}),
+            ("jacobi-2d", "A", {"N": 6, "TSTEPS": 2}),
+        ],
+    )
+    def test_weaved_equals_original(self, name, result_global, tiny):
+        from repro.gcc.flags import standard_levels
+        from repro.lara.metrics import weave_benchmark
+
+        app = load(name)
+        # original execution
+        original = Interpreter(app.parse(), macro_overrides=tiny)
+        original.run_main()
+        expected = np.array(original.global_value(result_global), copy=True)
+
+        _, weaver = weave_benchmark(app, standard_levels())
+        for version in (0, 3, 7):
+            stubs = {
+                "margot_init": lambda: None,
+                "margot_update": lambda v, t, _version=version: (
+                    v.set(_version),
+                    t.set(1),
+                ),
+                "margot_start_monitor": lambda: None,
+                "margot_stop_monitor": lambda: None,
+                "margot_log": lambda: None,
+            }
+            interp = Interpreter(
+                weaver.unit, macro_overrides=tiny, intrinsics=stubs
+            )
+            interp.run_main()
+            computed = np.array(interp.global_value(result_global), copy=True)
+            np.testing.assert_allclose(
+                computed, expected, err_msg=f"{name} version {version} diverges"
+            )

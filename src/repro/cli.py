@@ -38,8 +38,15 @@ def _toolflow(args: argparse.Namespace):
     threads = None
     if getattr(args, "threads", None):
         threads = sorted({int(t) for t in args.threads.split(",")})
+    backend = None
+    if getattr(args, "workers", None):
+        from repro.engine import ProcessPoolBackend
+
+        backend = ProcessPoolBackend(max_workers=args.workers)
     return SocratesToolflow(
-        dse_repetitions=getattr(args, "repetitions", 3), thread_counts=threads
+        dse_repetitions=getattr(args, "repetitions", 3),
+        thread_counts=threads,
+        backend=backend,
     )
 
 
@@ -133,6 +140,27 @@ def cmd_build(args: argparse.Namespace) -> int:
         with open(args.source_out, "w") as handle:
             handle.write(result.adaptive_source)
         print(f"Wrote adaptive source to {args.source_out}")
+    if args.stage_report:
+        import json
+
+        print(json.dumps(result.stage_report(), indent=2))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Build an app and dump the stage-event + engine-cache telemetry."""
+    import json
+
+    flow = _toolflow(args)
+    app = _load_app(args.app)
+    result = flow.build(app)
+    payload = {
+        "app": app.name,
+        "backend": flow.engine.backend.name,
+        **result.stage_report(),
+        "engine": flow.engine.stats(),
+    }
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -432,7 +460,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repetitions", type=int, default=3)
     p.add_argument("--oplist", help="write the knowledge base to this JSON file")
     p.add_argument("--source-out", help="write the adaptive source to this file")
+    p.add_argument(
+        "--stage-report",
+        action="store_true",
+        help="print per-stage telemetry (wall time, cache hits) as JSON",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        help="evaluate design points on a process pool of this size",
+    )
     p.set_defaults(func=cmd_build)
+
+    p = subparsers.add_parser(
+        "stats", help="build an app and print stage/cache telemetry as JSON"
+    )
+    _add_app_argument(p)
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument(
+        "--workers",
+        type=int,
+        help="evaluate design points on a process pool of this size",
+    )
+    p.set_defaults(func=cmd_stats)
 
     p = subparsers.add_parser("trace", help="run a scenario from a margot config")
     p.add_argument("config", help="JSON configuration (see repro.margot.config)")
@@ -510,6 +561,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return args.func(args)
     except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except BrokenPipeError:

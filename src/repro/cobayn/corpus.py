@@ -9,15 +9,16 @@ the configurations whose distribution the Bayesian network learns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.engine.core import EvaluationEngine
+from repro.engine.model import DesignPoint
 from repro.gcc.compiler import Compiler
 from repro.gcc.flags import ALL_FLAGS, Flag, FlagConfiguration, OptLevel, cobayn_space
 from repro.machine.executor import MachineExecutor
 from repro.machine.openmp import BindingPolicy, OpenMPRuntime
-from repro.milepost.features import FeatureVector, extract_features
+from repro.milepost.features import FeatureVector
 from repro.polybench.apps.base import BenchmarkApp
-from repro.polybench.workload import profile_kernel
 
 #: Reference operating point for iterative compilation (all physical
 #: cores of one socket pair, close binding) — flag effects are ranked
@@ -80,19 +81,35 @@ class TrainingCorpus:
         return rows
 
 
+def reference_points(
+    configs: Sequence[FlagConfiguration],
+) -> List[DesignPoint]:
+    """The iterative-compilation design points: every configuration at
+    the fixed reference operating point."""
+    return [
+        DesignPoint(
+            compiler=config, threads=REFERENCE_THREADS, binding=REFERENCE_BINDING
+        )
+        for config in configs
+    ]
+
+
 def evaluate_configuration(
     app: BenchmarkApp,
     config: FlagConfiguration,
     compiler: Compiler,
     executor: MachineExecutor,
     omp: OpenMPRuntime,
+    engine: Optional[EvaluationEngine] = None,
 ) -> float:
     """Noise-free execution time of ``app`` under ``config`` at the
     reference operating point."""
-    profile = profile_kernel(app)
-    kernel = compiler.compile(profile, config)
-    placement = omp.place(REFERENCE_THREADS, REFERENCE_BINDING)
-    return executor.evaluate(kernel, placement).time_s
+    engine = engine or EvaluationEngine(compiler=compiler, executor=executor, omp=omp)
+    profile = engine.profile(app)
+    (sample,) = engine.evaluate(
+        profile, reference_points([config]), repetitions=1, noisy=False
+    )
+    return sample.times[0]
 
 
 def build_corpus(
@@ -101,24 +118,27 @@ def build_corpus(
     executor: MachineExecutor,
     omp: OpenMPRuntime,
     good_fraction: float = 0.1,
+    engine: Optional[EvaluationEngine] = None,
 ) -> TrainingCorpus:
     """Run iterative compilation for every app and keep the best combos.
 
     ``good_fraction`` of the 128-point space (at least 4 combos) is
-    labelled positive per kernel.
+    labelled positive per kernel.  ``engine`` shares the profile and
+    compile caches with the rest of a toolflow build; when omitted a
+    private engine wraps the given components.
     """
     if not 0.0 < good_fraction <= 1.0:
         raise ValueError("good_fraction must be in (0, 1]")
+    engine = engine or EvaluationEngine(compiler=compiler, executor=executor, omp=omp)
     space = cobayn_space()
+    points = reference_points(space)
     corpus = TrainingCorpus()
     for app in apps:
-        unit = app.parse()
-        profile = profile_kernel(app)
-        features = extract_features(unit, app.kernels[0])
-        placement = omp.place(REFERENCE_THREADS, REFERENCE_BINDING)
+        profile = engine.profile(app)
+        features = engine.features(app)
+        samples = engine.evaluate(profile, points, repetitions=1, noisy=False)
         timings = [
-            (config, executor.evaluate(compiler.compile(profile, config), placement).time_s)
-            for config in space
+            (config, sample.times[0]) for config, sample in zip(space, samples)
         ]
         timings.sort(key=lambda item: item[1])
         keep = max(4, int(round(len(space) * good_fraction)))

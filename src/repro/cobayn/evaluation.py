@@ -14,14 +14,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.cobayn.autotuner import CobaynAutotuner
-from repro.cobayn.corpus import REFERENCE_BINDING, REFERENCE_THREADS, build_corpus
+from repro.cobayn.corpus import build_corpus, reference_points
+from repro.engine.core import EvaluationEngine
 from repro.gcc.compiler import Compiler
-from repro.gcc.flags import cobayn_space
+from repro.gcc.flags import FlagConfiguration, OptLevel, cobayn_space
 from repro.machine.executor import MachineExecutor
 from repro.machine.openmp import OpenMPRuntime
-from repro.milepost.features import extract_features
 from repro.polybench.apps.base import BenchmarkApp
-from repro.polybench.workload import profile_kernel
 
 
 @dataclass(frozen=True)
@@ -90,33 +89,32 @@ def loocv_report(
     omp: OpenMPRuntime,
     k: int = 4,
     tuner_factory=CobaynAutotuner,
+    engine: Optional[EvaluationEngine] = None,
 ) -> LoocvReport:
     """Run the leave-one-out protocol over ``apps``."""
     if len(apps) < 3:
         raise ValueError("leave-one-out needs at least three applications")
+    engine = engine or EvaluationEngine(compiler=compiler, executor=executor, omp=omp)
     space = cobayn_space()
-    placement = omp.place(REFERENCE_THREADS, REFERENCE_BINDING)
     entries: List[LoocvEntry] = []
     for target in apps:
         training = [app for app in apps if app.name != target.name]
-        corpus = build_corpus(training, compiler, executor, omp)
+        corpus = build_corpus(training, compiler, executor, omp, engine=engine)
         tuner = tuner_factory()
         tuner.train(corpus)
-        features = extract_features(target.parse(), target.kernels[0])
+        features = engine.features(target)
         predicted = tuner.predict_top(features, k)
 
-        profile = profile_kernel(target)
+        profile = engine.profile(target)
+        samples = engine.evaluate(
+            profile, reference_points(space), repetitions=1, noisy=False
+        )
         timings = {
-            config: executor.evaluate(compiler.compile(profile, config), placement).time_s
-            for config in space
+            config: sample.times[0] for config, sample in zip(space, samples)
         }
         truth = sorted(space, key=lambda config: timings[config])
         rank_of = {config: rank for rank, config in enumerate(truth)}
-        from repro.gcc.flags import FlagConfiguration, OptLevel
-
-        o3_time = executor.evaluate(
-            compiler.compile(profile, FlagConfiguration(OptLevel.O3)), placement
-        ).time_s
+        o3_time = timings[FlagConfiguration(OptLevel.O3)]
         best_predicted_time = min(timings[config] for config in predicted)
         entries.append(
             LoocvEntry(

@@ -41,6 +41,32 @@ class KernelVersion:
         return self.compiled.config.label
 
 
+def build_version_table(
+    engine,
+    profile,
+    configs,
+    bindings: Tuple[BindingPolicy, ...] = (BindingPolicy.CLOSE, BindingPolicy.SPREAD),
+) -> Dict[Tuple[str, str], KernelVersion]:
+    """The weaved wrapper's dispatch table, built through the engine.
+
+    One :class:`KernelVersion` per (configuration, binding); compilation
+    goes through the :class:`~repro.engine.EvaluationEngine`'s compile
+    cache, so assembling after a DSE over the same configurations costs
+    zero additional compilations.
+    """
+    versions: Dict[Tuple[str, str], KernelVersion] = {}
+    index = 0
+    for config in configs:
+        for binding in bindings:
+            versions[(config.label, binding.value)] = KernelVersion(
+                index=index,
+                compiled=engine.compile(profile, config),
+                binding=binding,
+            )
+            index += 1
+    return versions
+
+
 @dataclass(frozen=True)
 class InvocationRecord:
     """One row of the runtime trace (Figure 5's signals)."""

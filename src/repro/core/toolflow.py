@@ -23,20 +23,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cobayn.autotuner import CobaynAutotuner
 from repro.cobayn.corpus import build_corpus
-from repro.core.adaptive import AdaptiveApplication, KernelVersion
+from repro.core.adaptive import AdaptiveApplication, build_version_table
 from repro.dse.explorer import DesignSpace, DesignSpaceExplorer, ExplorationResult
 from repro.dse.strategies import SamplingStrategy
+from repro.engine.core import EvaluationEngine
+from repro.engine.telemetry import StageEvent, TelemetryRecorder, stage_report
 from repro.gcc.compiler import Compiler
 from repro.gcc.flags import FlagConfiguration, standard_levels
 from repro.lara.metrics import WeavingReport, weave_benchmark
 from repro.lara.weaver import Weaver
 from repro.machine.executor import MachineExecutor
-from repro.machine.openmp import BindingPolicy, OpenMPRuntime
+from repro.machine.openmp import OpenMPRuntime
 from repro.machine.power import RaplMeter
 from repro.machine.topology import Machine, default_machine
-from repro.milepost.features import FeatureVector, extract_features
+from repro.milepost.features import FeatureVector
 from repro.polybench.apps.base import BenchmarkApp
-from repro.polybench.workload import WorkloadProfile, profile_kernel
+from repro.polybench.workload import WorkloadProfile
 
 
 @dataclass
@@ -51,6 +53,12 @@ class ToolflowResult:
     weaver: Weaver
     exploration: ExplorationResult
     adaptive: AdaptiveApplication
+    stage_events: List[StageEvent] = field(default_factory=list)
+
+    def stage_report(self) -> Dict[str, object]:
+        """JSON-able per-stage telemetry of the build (wall time, cache
+        hit/miss deltas, points evaluated)."""
+        return stage_report(self.stage_events)
 
     @property
     def adaptive_source(self) -> str:
@@ -91,17 +99,45 @@ class SocratesToolflow:
         thread_counts: Optional[Sequence[int]] = None,
         seed: int = 0x50CA,
         pareto_prune: bool = False,
+        engine: Optional[EvaluationEngine] = None,
+        backend=None,
     ) -> None:
         """``pareto_prune`` reduces the runtime knowledge base to its
         Pareto front under (max throughput, min power) — mARGOt's usual
         deployment mode: dominated configurations can never be the
         answer to any monotone requirement, and a smaller OP list makes
-        every ``update()`` cheaper."""
+        every ``update()`` cheaper.
+
+        ``engine`` supplies a pre-built :class:`EvaluationEngine` whose
+        compiler/executor/runtime the toolflow adopts (sharing caches
+        with other consumers); ``backend`` picks the evaluation backend
+        (e.g. :class:`~repro.engine.ProcessPoolBackend`) when the
+        toolflow builds its own engine."""
+        if dse_repetitions < 1:
+            raise ValueError(
+                f"dse_repetitions must be >= 1, got {dse_repetitions}"
+            )
+        if cobayn_k < 1:
+            raise ValueError(f"cobayn_k must be >= 1, got {cobayn_k}")
         self._pareto_prune = pareto_prune
-        self._machine = machine or default_machine()
-        self._omp = OpenMPRuntime(self._machine)
-        self._compiler = Compiler()
-        self._executor = MachineExecutor(self._machine, seed=seed)
+        if engine is not None:
+            self._engine = engine
+            self._machine = engine.machine
+            self._omp = engine.omp
+            self._compiler = engine.compiler
+            self._executor = engine.executor
+        else:
+            self._machine = machine or default_machine()
+            self._omp = OpenMPRuntime(self._machine)
+            self._compiler = Compiler()
+            self._executor = MachineExecutor(self._machine, seed=seed)
+            self._engine = EvaluationEngine(
+                compiler=self._compiler,
+                executor=self._executor,
+                omp=self._omp,
+                machine=self._machine,
+                backend=backend,
+            )
         self._dse_repetitions = dse_repetitions
         self._cobayn_k = cobayn_k
         self._thread_counts = list(
@@ -130,6 +166,10 @@ class SocratesToolflow:
     def omp(self) -> OpenMPRuntime:
         return self._omp
 
+    @property
+    def engine(self) -> EvaluationEngine:
+        return self._engine
+
     # -- pipeline ----------------------------------------------------------------
 
     def build(
@@ -144,12 +184,18 @@ class SocratesToolflow:
         applications (leave-one-out), so COBAYN never trains on the
         kernel it predicts for.
         """
-        features = self._characterize(app)
-        custom = self._prune_compiler_space(app, features, training_apps)
+        recorder = TelemetryRecorder(self._engine)
+        with recorder.stage("characterize"):
+            features = self._characterize(app)
+        with recorder.stage("prune"):
+            custom = self._prune_compiler_space(app, features, training_apps)
         configs = standard_levels() + custom
-        report, weaver = weave_benchmark(app, configs)
-        exploration = self._profile(app, configs, dse_strategy)
-        adaptive = self._assemble(app, configs, exploration)
+        with recorder.stage("weave"):
+            report, weaver = weave_benchmark(app, configs)
+        with recorder.stage("profile"):
+            exploration = self._profile(app, configs, dse_strategy)
+        with recorder.stage("assemble"):
+            adaptive = self._assemble(app, configs, exploration)
         return ToolflowResult(
             app=app,
             features=features,
@@ -159,12 +205,13 @@ class SocratesToolflow:
             weaver=weaver,
             exploration=exploration,
             adaptive=adaptive,
+            stage_events=recorder.events,
         )
 
     # -- stages ------------------------------------------------------------------
 
     def _characterize(self, app: BenchmarkApp) -> FeatureVector:
-        return extract_features(app.parse(), app.kernels[0])
+        return self._engine.features(app)
 
     def _prune_compiler_space(
         self,
@@ -189,7 +236,11 @@ class SocratesToolflow:
         key = tuple(sorted(candidate.name for candidate in training_apps))
         if key not in self._tuner_cache:
             corpus = build_corpus(
-                training_apps, self._compiler, self._executor, self._omp
+                training_apps,
+                self._compiler,
+                self._executor,
+                self._omp,
+                engine=self._engine,
             )
             tuner = CobaynAutotuner()
             tuner.train(corpus)
@@ -202,12 +253,16 @@ class SocratesToolflow:
         configs: Sequence[FlagConfiguration],
         dse_strategy: Optional[SamplingStrategy],
     ) -> ExplorationResult:
-        profile = profile_kernel(app)
+        profile = self._engine.profile(app)
         space = DesignSpace(
             compiler_configs=list(configs), thread_counts=self._thread_counts
         )
         explorer = DesignSpaceExplorer(
-            self._compiler, self._executor, self._omp, repetitions=self._dse_repetitions
+            self._compiler,
+            self._executor,
+            self._omp,
+            repetitions=self._dse_repetitions,
+            engine=self._engine,
         )
         return explorer.explore(profile, space, strategy=dse_strategy, seed=self._seed)
 
@@ -217,17 +272,8 @@ class SocratesToolflow:
         configs: Sequence[FlagConfiguration],
         exploration: ExplorationResult,
     ) -> AdaptiveApplication:
-        profile = profile_kernel(app)
-        versions: Dict[Tuple[str, str], KernelVersion] = {}
-        index = 0
-        for config in configs:
-            for binding in (BindingPolicy.CLOSE, BindingPolicy.SPREAD):
-                versions[(config.label, binding.value)] = KernelVersion(
-                    index=index,
-                    compiled=self._compiler.compile(profile, config),
-                    binding=binding,
-                )
-                index += 1
+        profile = self._engine.profile(app)
+        versions = build_version_table(self._engine, profile, configs)
         meter = RaplMeter(self._executor.power_model, seed=self._seed ^ 0xFF)
         knowledge = exploration.knowledge
         if self._pareto_prune:

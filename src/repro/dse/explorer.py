@@ -1,72 +1,49 @@
 """The DSE driver: profile the autotuning space into a knowledge base.
 
 For every selected design point (compiler configuration, thread count,
-binding policy) the explorer compiles the kernel, runs it
-``repetitions`` times on the simulated machine (as mARGOt's profiling
-task does on the real one) and stores mean/std of each EFP as an
-operating point.
+binding policy) the explorer measures the kernel ``repetitions`` times
+on the simulated machine (as mARGOt's profiling task does on the real
+one) and stores mean/std of each EFP as an operating point.
+
+The measurements themselves run through the shared
+:class:`~repro.engine.EvaluationEngine` — compilation is memoized per
+configuration, and the engine's backend decides whether design points
+are evaluated serially or sharded across a process pool.  The
+``DesignPoint`` / ``DesignSpace`` / ``ProfiledSample`` types are
+re-exported from :mod:`repro.engine.model` for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from repro.dse.strategies import FullFactorialStrategy, SamplingStrategy
+from repro.engine.core import EvaluationEngine
+from repro.engine.model import DesignPoint, DesignSpace, ProfiledSample
 from repro.gcc.compiler import Compiler
-from repro.gcc.flags import FlagConfiguration
 from repro.machine.executor import MachineExecutor
-from repro.machine.openmp import BindingPolicy, OpenMPRuntime
+from repro.machine.openmp import OpenMPRuntime
 from repro.margot.knowledge import KnowledgeBase, MetricStats, OperatingPoint
 from repro.polybench.workload import WorkloadProfile
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "ProfiledSample",
+    "KNOB_BINDING",
+    "KNOB_COMPILER",
+    "KNOB_THREADS",
+]
 
 #: Names of the knobs every SOCRATES operating point carries.
 KNOB_COMPILER = "compiler"
 KNOB_THREADS = "threads"
 KNOB_BINDING = "binding"
-
-
-@dataclass(frozen=True)
-class DesignPoint:
-    """One configuration of the paper's autotuning space."""
-
-    compiler: FlagConfiguration
-    threads: int
-    binding: BindingPolicy
-
-
-@dataclass(frozen=True)
-class DesignSpace:
-    """The cartesian autotuning space CO x TN x BP (paper Section II)."""
-
-    compiler_configs: Sequence[FlagConfiguration]
-    thread_counts: Sequence[int]
-    bindings: Sequence[BindingPolicy] = (BindingPolicy.CLOSE, BindingPolicy.SPREAD)
-
-    def points(self) -> List[DesignPoint]:
-        return [
-            DesignPoint(compiler=config, threads=threads, binding=binding)
-            for config in self.compiler_configs
-            for binding in self.bindings
-            for threads in self.thread_counts
-        ]
-
-    @property
-    def size(self) -> int:
-        return (
-            len(self.compiler_configs) * len(self.thread_counts) * len(self.bindings)
-        )
-
-
-@dataclass
-class ProfiledSample:
-    """Raw repetition measurements of one design point."""
-
-    point: DesignPoint
-    times: List[float] = field(default_factory=list)
-    powers: List[float] = field(default_factory=list)
 
 
 @dataclass
@@ -93,13 +70,23 @@ class DesignSpaceExplorer:
         executor: MachineExecutor,
         omp: OpenMPRuntime,
         repetitions: int = 5,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
+        """``engine`` shares caches with other measurement consumers;
+        when omitted, a private engine wraps the given components."""
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1")
-        self._compiler = compiler
-        self._executor = executor
-        self._omp = omp
+        self._engine = engine or EvaluationEngine(
+            compiler=compiler, executor=executor, omp=omp
+        )
+        self._compiler = self._engine.compiler
+        self._executor = self._engine.executor
+        self._omp = self._engine.omp
         self._repetitions = repetitions
+
+    @property
+    def engine(self) -> EvaluationEngine:
+        return self._engine
 
     def explore(
         self,
@@ -112,11 +99,11 @@ class DesignSpaceExplorer:
         strategy = strategy or FullFactorialStrategy()
         rng = np.random.default_rng(seed)
         selected = strategy.select(space.points(), rng)
+        samples = self._engine.evaluate(
+            profile, selected, repetitions=self._repetitions
+        )
         knowledge = KnowledgeBase()
-        samples: List[ProfiledSample] = []
-        for point in selected:
-            sample = self._profile_point(profile, point)
-            samples.append(sample)
+        for sample in samples:
             knowledge.add(self._to_operating_point(sample))
         return ExplorationResult(
             kernel=profile.kernel,
@@ -127,18 +114,6 @@ class DesignSpaceExplorer:
         )
 
     # -- internals ----------------------------------------------------------
-
-    def _profile_point(
-        self, profile: WorkloadProfile, point: DesignPoint
-    ) -> ProfiledSample:
-        kernel = self._compiler.compile(profile, point.compiler)
-        placement = self._omp.place(point.threads, point.binding)
-        sample = ProfiledSample(point=point)
-        for _ in range(self._repetitions):
-            result = self._executor.run(kernel, placement)
-            sample.times.append(result.time_s)
-            sample.powers.append(result.power_w)
-        return sample
 
     @staticmethod
     def _to_operating_point(sample: ProfiledSample) -> OperatingPoint:

@@ -1,0 +1,124 @@
+"""Evaluation backends: where the machine-model invocations run.
+
+A backend maps *work items* — ``(CompiledKernel, threads, binding)``
+triples — to their noise-free ``(time_s, power_w)`` truths.  Truths
+are deterministic model evaluations, so the engine can ship them to
+any pool of workers and stay reproducible: measurement noise is drawn
+separately, in canonical point order, from the engine's single seeded
+stream (see :meth:`EvaluationEngine.evaluate`) and applied to the
+truths regardless of which worker produced them.
+
+* :class:`SerialBackend` — evaluates in-process, in order (default).
+* :class:`ProcessPoolBackend` — shards items across OS processes.
+  Workers receive the executor and OpenMP runtime once per pool and
+  never touch a random stream, so results are identical to the serial
+  backend for any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.gcc.compiler import CompiledKernel
+from repro.machine.executor import MachineExecutor
+from repro.machine.openmp import BindingPolicy, OpenMPRuntime, ThreadPlacement
+
+#: One unit of backend work: compiled kernel + placement request.
+WorkItem = Tuple[CompiledKernel, int, str]
+#: Noise-free outcome of one work item.
+Truth = Tuple[float, float]
+
+
+class SerialBackend:
+    """In-process, in-order evaluation (bit-identical to the historical
+    hand-rolled loops)."""
+
+    name = "serial"
+
+    def run_truths(
+        self,
+        executor: MachineExecutor,
+        omp: OpenMPRuntime,
+        items: Sequence[WorkItem],
+    ) -> List[Truth]:
+        placements: Dict[Tuple[int, str], ThreadPlacement] = {}
+        truths: List[Truth] = []
+        for kernel, threads, binding in items:
+            placement = placements.get((threads, binding))
+            if placement is None:
+                placement = omp.place(threads, BindingPolicy(binding))
+                placements[(threads, binding)] = placement
+            result = executor.evaluate(kernel, placement)
+            truths.append((result.time_s, result.power_w))
+        return truths
+
+
+# -- process-pool worker side -------------------------------------------------
+#
+# Module-level state + functions so they are picklable under both the
+# fork and spawn start methods.
+
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(executor: MachineExecutor, omp: OpenMPRuntime) -> None:
+    _WORKER["executor"] = executor
+    _WORKER["omp"] = omp
+    _WORKER["placements"] = {}
+
+
+def _evaluate_item(item: WorkItem) -> Truth:
+    kernel, threads, binding = item
+    placements: Dict[Tuple[int, str], ThreadPlacement] = _WORKER["placements"]  # type: ignore[assignment]
+    placement = placements.get((threads, binding))
+    if placement is None:
+        omp: OpenMPRuntime = _WORKER["omp"]  # type: ignore[assignment]
+        placement = omp.place(threads, BindingPolicy(binding))
+        placements[(threads, binding)] = placement
+    executor: MachineExecutor = _WORKER["executor"]  # type: ignore[assignment]
+    result = executor.evaluate(kernel, placement)
+    return (result.time_s, result.power_w)
+
+
+class ProcessPoolBackend:
+    """Shards work items across a pool of OS processes.
+
+    Each ``run_truths`` call spins up its own pool (the executor and
+    runtime are shipped once via the pool initializer), so the backend
+    holds no long-lived child processes between batches.  Worker
+    scheduling cannot affect results: truths are pure functions of
+    their item, and all randomness stays in the parent.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: int = 0, chunksize: int = 16) -> None:
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0 (0 = cpu count)")
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self._max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._chunksize = chunksize
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def run_truths(
+        self,
+        executor: MachineExecutor,
+        omp: OpenMPRuntime,
+        items: Sequence[WorkItem],
+    ) -> List[Truth]:
+        # tiny batches are not worth a pool spin-up
+        if len(items) <= self._chunksize or self._max_workers == 1:
+            return SerialBackend().run_truths(executor, omp, items)
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=self._max_workers,
+            initializer=_init_worker,
+            initargs=(executor, omp),
+        ) as pool:
+            return list(pool.map(_evaluate_item, items, chunksize=self._chunksize))

@@ -1,0 +1,240 @@
+"""The unified evaluation engine: one compile→place→run path.
+
+Every layer that needs a measurement — the SOCRATES toolflow, the
+design-space explorer and the COBAYN corpus builder — shares one
+:class:`EvaluationEngine`.  The engine owns:
+
+* the **compile cache** — one compilation per distinct
+  ``(WorkloadProfile, FlagConfiguration.label)`` pair;
+* the **profile cache** — one parse + workload analysis per app;
+* the **batched evaluation API** — :meth:`evaluate` turns a list of
+  design points into :class:`ProfiledSample` measurements through a
+  pluggable backend (serial by default, process pool optionally);
+* the **counters** the telemetry layer snapshots per pipeline stage.
+
+Determinism contract: model truths are pure functions of
+``(kernel, placement)``, and measurement noise is drawn from the
+executor's single seeded stream in canonical point order — two pairs
+per repetition, exactly as the historical per-run draws — *before*
+truths are computed.  Serial and process-pool backends therefore
+produce bit-identical samples, and both reproduce the pre-engine
+hand-rolled loops byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.backends import ProcessPoolBackend, SerialBackend, Truth, WorkItem
+from repro.engine.caching import CompileCache, CompileKey, ProfileCache
+from repro.engine.model import DesignPoint, ProfiledSample
+from repro.gcc.compiler import CompiledKernel, Compiler
+from repro.gcc.flags import FlagConfiguration
+from repro.machine.executor import MachineExecutor
+from repro.machine.openmp import OpenMPRuntime
+from repro.machine.topology import Machine, default_machine
+from repro.milepost.features import FeatureVector
+from repro.polybench.apps.base import BenchmarkApp
+from repro.polybench.workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class EngineCounters:
+    """Snapshot of the engine's monotonic counters."""
+
+    compile_hits: int
+    compile_misses: int
+    profile_hits: int
+    profile_misses: int
+    truth_hits: int
+    truth_misses: int
+    points_evaluated: int
+
+
+class EvaluationEngine:
+    """Cached, batched, backend-pluggable kernel evaluation."""
+
+    def __init__(
+        self,
+        compiler: Optional[Compiler] = None,
+        executor: Optional[MachineExecutor] = None,
+        omp: Optional[OpenMPRuntime] = None,
+        machine: Optional[Machine] = None,
+        backend=None,
+    ) -> None:
+        if machine is None:
+            machine = executor.machine if executor is not None else default_machine()
+        self._machine = machine
+        self._compiler = compiler or Compiler()
+        self._executor = executor or MachineExecutor(machine)
+        self._omp = omp or OpenMPRuntime(machine)
+        self._backend = backend or SerialBackend()
+        self._compile_cache = CompileCache(self._compiler)
+        self._profile_cache = ProfileCache()
+        # model truths are pure functions of (kernel, placement): cache
+        # them so repeated visits (leave-one-out corpus rebuilds, suite
+        # sweeps) never re-run the machine model
+        self._truth_cache: Dict[Tuple[CompileKey, int, str], Truth] = {}
+        self._truth_hits = 0
+        self._truth_misses = 0
+        self._points_evaluated = 0
+
+    # -- shared components ---------------------------------------------------
+
+    @property
+    def machine(self) -> Machine:
+        return self._machine
+
+    @property
+    def compiler(self) -> Compiler:
+        return self._compiler
+
+    @property
+    def executor(self) -> MachineExecutor:
+        return self._executor
+
+    @property
+    def omp(self) -> OpenMPRuntime:
+        return self._omp
+
+    @property
+    def backend(self):
+        return self._backend
+
+    @property
+    def compile_cache(self) -> CompileCache:
+        return self._compile_cache
+
+    @property
+    def profile_cache(self) -> ProfileCache:
+        return self._profile_cache
+
+    # -- cached characterization ---------------------------------------------
+
+    def unit(self, app: BenchmarkApp):
+        """The shared read-only AST of ``app`` (parsed once)."""
+        return self._profile_cache.unit(app)
+
+    def profile(
+        self, app: BenchmarkApp, kernel: Optional[str] = None
+    ) -> WorkloadProfile:
+        """The cached workload profile of ``app``'s kernel."""
+        return self._profile_cache.profile(app, kernel)
+
+    def features(
+        self, app: BenchmarkApp, kernel: Optional[str] = None
+    ) -> FeatureVector:
+        """The cached Milepost feature vector of ``app``'s kernel."""
+        return self._profile_cache.features(app, kernel)
+
+    # -- cached compilation ----------------------------------------------------
+
+    def compile(
+        self, profile: WorkloadProfile, config: FlagConfiguration
+    ) -> CompiledKernel:
+        """Compile through the counting cache (one compile per CF)."""
+        return self._compile_cache.get(profile, config)
+
+    # -- batched evaluation ----------------------------------------------------
+
+    def evaluate(
+        self,
+        profile: WorkloadProfile,
+        points: Sequence[DesignPoint],
+        repetitions: int = 1,
+        noisy: bool = True,
+    ) -> List[ProfiledSample]:
+        """Measure ``points``, ``repetitions`` times each.
+
+        Compiles each distinct configuration exactly once, draws the
+        noise factors for every (point, repetition) in canonical order
+        from the executor's seeded stream, then lets the backend
+        compute the noise-free truths.  ``noisy=False`` skips the
+        noise draws entirely (iterative-compilation mode) and leaves
+        the executor's stream untouched.
+        """
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        kernels: Dict[str, CompiledKernel] = {}
+        for point in points:
+            label = point.compiler.label
+            if label not in kernels:
+                kernels[label] = self.compile(profile, point.compiler)
+        # Noise is drawn before the truths are computed: the draw order
+        # (point-major, repetition-minor, time then power) matches the
+        # historical interleaved run() loop, keeping the stream state
+        # bit-identical while paying only one model evaluation per point.
+        factor_blocks = (
+            [self._executor.noise_factors(repetitions) for _ in points]
+            if noisy
+            else None
+        )
+        point_keys = [
+            (
+                CompileCache.key(profile, point.compiler),
+                point.threads,
+                point.binding.value,
+            )
+            for point in points
+        ]
+        missing: Dict[Tuple[CompileKey, int, str], WorkItem] = {}
+        for point, key in zip(points, point_keys):
+            if key not in self._truth_cache and key not in missing:
+                missing[key] = (
+                    kernels[point.compiler.label],
+                    point.threads,
+                    point.binding.value,
+                )
+        if missing:
+            computed = self._backend.run_truths(
+                self._executor, self._omp, list(missing.values())
+            )
+            for key, truth in zip(missing, computed):
+                self._truth_cache[key] = truth
+        self._truth_misses += len(missing)
+        self._truth_hits += len(points) - len(missing)
+        samples: List[ProfiledSample] = []
+        for index, point in enumerate(points):
+            time_truth, power_truth = self._truth_cache[point_keys[index]]
+            if factor_blocks is not None:
+                block = factor_blocks[index]
+                times = [time_truth * time_factor for time_factor, _ in block]
+                powers = [power_truth * power_factor for _, power_factor in block]
+            else:
+                times = [time_truth] * repetitions
+                powers = [power_truth] * repetitions
+            samples.append(ProfiledSample(point=point, times=times, powers=powers))
+        self._points_evaluated += len(points)
+        return samples
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def counters(self) -> EngineCounters:
+        return EngineCounters(
+            compile_hits=self._compile_cache.stats.hits,
+            compile_misses=self._compile_cache.stats.misses,
+            profile_hits=self._profile_cache.stats.hits,
+            profile_misses=self._profile_cache.stats.misses,
+            truth_hits=self._truth_hits,
+            truth_misses=self._truth_misses,
+            points_evaluated=self._points_evaluated,
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-able cache/evaluation statistics."""
+        return {
+            "backend": self._backend.name,
+            "compile_cache": {
+                **self._compile_cache.stats.as_dict(),
+                "entries": len(self._compile_cache),
+            },
+            "profile_cache": self._profile_cache.stats.as_dict(),
+            "truth_cache": {
+                "hits": self._truth_hits,
+                "misses": self._truth_misses,
+                "entries": len(self._truth_cache),
+            },
+            "points_evaluated": self._points_evaluated,
+        }

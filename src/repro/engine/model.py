@@ -1,0 +1,57 @@
+"""Data model of the evaluation engine: design points and samples.
+
+These types used to live in :mod:`repro.dse.explorer`; they are defined
+here so every measurement consumer (toolflow, DSE, COBAYN corpus) can
+share them without importing the explorer.  The explorer re-exports
+them, so existing ``from repro.dse.explorer import DesignPoint`` code
+keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.gcc.flags import FlagConfiguration
+from repro.machine.openmp import BindingPolicy
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One configuration of the paper's autotuning space."""
+
+    compiler: FlagConfiguration
+    threads: int
+    binding: BindingPolicy
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The cartesian autotuning space CO x TN x BP (paper Section II)."""
+
+    compiler_configs: Sequence[FlagConfiguration]
+    thread_counts: Sequence[int]
+    bindings: Sequence[BindingPolicy] = (BindingPolicy.CLOSE, BindingPolicy.SPREAD)
+
+    def points(self) -> List[DesignPoint]:
+        return [
+            DesignPoint(compiler=config, threads=threads, binding=binding)
+            for config in self.compiler_configs
+            for binding in self.bindings
+            for threads in self.thread_counts
+        ]
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.compiler_configs) * len(self.thread_counts) * len(self.bindings)
+        )
+
+
+@dataclass
+class ProfiledSample:
+    """Raw repetition measurements of one design point."""
+
+    point: DesignPoint
+    times: List[float] = field(default_factory=list)
+    powers: List[float] = field(default_factory=list)

@@ -1,0 +1,95 @@
+"""Stage-event telemetry: what each pipeline stage cost.
+
+The toolflow wraps every Figure 1 stage in
+:meth:`TelemetryRecorder.stage`, which snapshots the engine's cache
+and evaluation counters around the stage body and appends one
+:class:`StageEvent` with the wall time and counter deltas.  The CLI
+dumps the events as JSON (``socrates build --stage-report`` /
+``socrates stats``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """Cost accounting of one pipeline stage."""
+
+    stage: str
+    wall_time_s: float
+    compile_hits: int
+    compile_misses: int
+    profile_hits: int
+    profile_misses: int
+    truth_hits: int
+    truth_misses: int
+    points_evaluated: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def stage_report(events: List[StageEvent]) -> Dict[str, object]:
+    """JSON-able report: per-stage events plus totals."""
+    return {
+        "stages": [event.as_dict() for event in events],
+        "totals": {
+            "wall_time_s": sum(event.wall_time_s for event in events),
+            "compile_hits": sum(event.compile_hits for event in events),
+            "compile_misses": sum(event.compile_misses for event in events),
+            "profile_hits": sum(event.profile_hits for event in events),
+            "profile_misses": sum(event.profile_misses for event in events),
+            "truth_hits": sum(event.truth_hits for event in events),
+            "truth_misses": sum(event.truth_misses for event in events),
+            "points_evaluated": sum(event.points_evaluated for event in events),
+        },
+    }
+
+
+def stage_report_json(events: List[StageEvent], indent: int = 2) -> str:
+    return json.dumps(stage_report(events), indent=indent)
+
+
+class TelemetryRecorder:
+    """Collects :class:`StageEvent` records around an engine's stages."""
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self._events: List[StageEvent] = []
+
+    @property
+    def events(self) -> List[StageEvent]:
+        return list(self._events)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        before = self._engine.counters
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - start
+            after = self._engine.counters
+            self._events.append(
+                StageEvent(
+                    stage=name,
+                    wall_time_s=wall,
+                    compile_hits=after.compile_hits - before.compile_hits,
+                    compile_misses=after.compile_misses - before.compile_misses,
+                    profile_hits=after.profile_hits - before.profile_hits,
+                    profile_misses=after.profile_misses - before.profile_misses,
+                    truth_hits=after.truth_hits - before.truth_hits,
+                    truth_misses=after.truth_misses - before.truth_misses,
+                    points_evaluated=after.points_evaluated
+                    - before.points_evaluated,
+                )
+            )
+
+    def report(self) -> Dict[str, object]:
+        return stage_report(self._events)

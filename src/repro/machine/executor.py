@@ -26,7 +26,7 @@ Model summary (one kernel invocation):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -106,11 +106,26 @@ class MachineExecutor:
         truth = self.evaluate(kernel, placement)
         if not noisy:
             return truth
-        time_factor = float(self._rng.lognormal(0.0, self._time_sigma))
-        power_factor = float(self._rng.lognormal(0.0, self._power_sigma))
+        ((time_factor, power_factor),) = self.noise_factors(1)
         time_s = truth.time_s * time_factor
         power_w = truth.power_w * power_factor
         return ExecutionResult(time_s=time_s, power_w=power_w, energy_j=time_s * power_w)
+
+    def noise_factors(self, count: int) -> List[Tuple[float, float]]:
+        """Draw ``count`` (time, power) measurement-noise factor pairs.
+
+        Consumes the seeded stream exactly as ``count`` noisy
+        :meth:`run` calls would, so a caller (the evaluation engine)
+        can separate noise generation from model evaluation without
+        perturbing downstream draws.
+        """
+        return [
+            (
+                float(self._rng.lognormal(0.0, self._time_sigma)),
+                float(self._rng.lognormal(0.0, self._power_sigma)),
+            )
+            for _ in range(count)
+        ]
 
     def evaluate(
         self, kernel: CompiledKernel, placement: ThreadPlacement

@@ -420,14 +420,18 @@ def profile_kernel(
     app: BenchmarkApp,
     kernel: Optional[str] = None,
     size_overrides: Optional[Dict[str, int]] = None,
+    unit: Optional[TranslationUnit] = None,
 ) -> WorkloadProfile:
     """Compute the :class:`WorkloadProfile` of ``app``'s kernel function.
 
     ``kernel`` defaults to the first (usually only) kernel of the app;
     ``size_overrides`` profiles the kernel at a different dataset size
     (e.g. ``{"NI": 200, "NJ": 220, ...}`` for a smaller 2mm).
+    ``unit`` skips the parse when the caller already holds the app's
+    AST (the analyses are read-only, so a shared unit is safe).
     """
-    unit = app.parse()
+    if unit is None:
+        unit = app.parse()
     kernel_name = kernel or app.kernels[0]
     func = unit.function(kernel_name)
     env = bound_environment(unit, size_overrides)

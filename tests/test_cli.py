@@ -28,6 +28,8 @@ class TestParser:
             ["fig4", "--app", "mvt", "--steps", "5"],
             ["fig5", "--duration", "30"],
             ["table1"],
+            ["build", "2mm", "--stage-report", "--workers", "2"],
+            ["stats", "2mm", "--threads", "1,4", "--repetitions", "1"],
         ],
     )
     def test_valid_invocations_parse(self, argv):
@@ -74,6 +76,32 @@ class TestCommands:
         assert document["format"] == 1
         assert len(document["points"]) == 8 * 3 * 2
         assert "margot_init();" in source.read_text()
+
+    def test_build_stage_report(self, capsys):
+        assert main(["build", "mvt", "--stage-report"] + FAST) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("{") :])
+        stages = [entry["stage"] for entry in report["stages"]]
+        assert stages == ["characterize", "prune", "weave", "profile", "assemble"]
+        assert report["totals"]["points_evaluated"] > 0
+
+    def test_invalid_repetitions_reported_cleanly(self, capsys):
+        assert main(["build", "2mm", "--threads", "1", "--repetitions", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "dse_repetitions must be >= 1" in err
+
+    def test_invalid_workers_reported_cleanly(self, capsys):
+        assert main(["build", "2mm", "--workers", "-1"] + FAST) == 2
+        err = capsys.readouterr().err
+        assert "max_workers" in err
+
+    def test_stats(self, capsys):
+        assert main(["stats", "mvt"] + FAST) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "mvt"
+        assert payload["backend"] == "serial"
+        assert payload["engine"]["compile_cache"]["misses"] > 0
+        assert len(payload["stages"]) == 5
 
     def test_fig4(self, capsys):
         assert main(["fig4", "--app", "mvt", "--steps", "4"] + FAST) == 0

@@ -9,6 +9,7 @@ Subcommands cover the whole reproduction workflow:
 ``weave``        weave a benchmark and print the adaptive source + metrics
 ``build``        run the full toolflow; optionally save the oplist/source
 ``trace``        run a runtime scenario from a JSON mARGOt configuration
+``obs``          export/validate traces, metrics dumps, adaptation audits
 ``table1``       regenerate Table I
 ``fig3``         regenerate Figure 3 (ASCII boxplots)
 ``fig4``         regenerate Figure 4 (budget sweep table)
@@ -32,7 +33,16 @@ def _add_app_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("app", help="benchmark name (see `socrates list`)")
 
 
-def _toolflow(args: argparse.Namespace):
+def _make_obs(args: argparse.Namespace):
+    """An enabled Observability when any obs flag asks for one, else None."""
+    if getattr(args, "trace_out", None) or getattr(args, "audit_out", None):
+        from repro.obs import Observability
+
+        return Observability()
+    return None
+
+
+def _toolflow(args: argparse.Namespace, obs=None):
     from repro.core.toolflow import SocratesToolflow
 
     threads = None
@@ -47,7 +57,22 @@ def _toolflow(args: argparse.Namespace):
         dse_repetitions=getattr(args, "repetitions", 3),
         thread_counts=threads,
         backend=backend,
+        obs=obs,
     )
+
+
+def _write_obs_artifacts(obs, args: argparse.Namespace) -> None:
+    """Honor --trace-out / --audit-out from any obs-enabled command."""
+    if getattr(args, "trace_out", None):
+        from repro.obs.export import write_chrome_trace
+
+        count = write_chrome_trace(obs.tracer.spans, args.trace_out)
+        print(f"Wrote Chrome trace to {args.trace_out} ({count} spans)")
+    if getattr(args, "audit_out", None):
+        from repro.obs.export import write_audit_jsonl
+
+        count = write_audit_jsonl(obs.audit, args.audit_out)
+        print(f"Wrote adaptation audit to {args.audit_out} ({count} entries)")
 
 
 def _load_app(name: str):
@@ -120,7 +145,8 @@ def cmd_weave(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    flow = _toolflow(args)
+    obs = _make_obs(args)
+    flow = _toolflow(args, obs=obs)
     app = _load_app(args.app)
     print(f"Building adaptive {app.name}...")
     result = flow.build(app)
@@ -144,6 +170,8 @@ def cmd_build(args: argparse.Namespace) -> int:
         import json
 
         print(json.dumps(result.stage_report(), indent=2))
+    if obs is not None:
+        _write_obs_artifacts(obs, args)
     return 0
 
 
@@ -170,7 +198,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.margot.config import apply_configuration, load_config
 
     config = load_config(args.config)
-    flow = _toolflow(args)
+    obs = _make_obs(args)
+    flow = _toolflow(args, obs=obs)
     app_def = _load_app(config.kernel)
     print(f"Building adaptive {config.kernel}...")
     result = flow.build(app_def)
@@ -195,6 +224,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.csv:
         trace_to_csv(records, args.csv)
         print(f"Wrote trace to {args.csv}")
+    if obs is not None:
+        obs.absorb_engine(flow.engine)
+        obs.absorb_monitors(app.manager.monitors)
+        _write_obs_artifacts(obs, args)
     return 0
 
 
@@ -241,33 +274,49 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.cir.interp import Interpreter
     from repro.polybench.datasets import DATASETS
 
+    obs = _make_obs(args)
+    if obs is None:
+        from repro.obs import NULL_OBS
+
+        obs = NULL_OBS
     app = _load_app(args.app)
     overrides = {name: max(4, args.size) for name in app.sizes}
     for name in overrides:
         if name.startswith("TSTEPS"):
             overrides[name] = 2
 
-    if args.weaved:
-        from repro.gcc.flags import paper_custom_flags, standard_levels
-        from repro.lara.metrics import weave_benchmark
+    with obs.tracer.span(f"run:{app.name}", app=app.name, weaved=args.weaved):
+        if args.weaved:
+            from repro.gcc.flags import paper_custom_flags, standard_levels
+            from repro.lara.metrics import weave_benchmark
 
-        configs = standard_levels() + paper_custom_flags()
-        _, weaver = weave_benchmark(app, configs)
-        stubs = {
-            "margot_init": lambda: None,
-            "margot_update": lambda v, t: (v.set(args.version), t.set(1)),
-            "margot_start_monitor": lambda: None,
-            "margot_stop_monitor": lambda: None,
-            "margot_log": lambda: None,
-        }
-        interp = Interpreter(weaver.unit, macro_overrides=overrides, intrinsics=stubs)
-        print(f"Interpreting weaved {app.name} (version {args.version}) at {overrides}...")
-    else:
-        interp = Interpreter(app.parse(), macro_overrides=overrides)
-        print(f"Interpreting {app.name} at {overrides}...")
+            configs = standard_levels() + paper_custom_flags()
+            with obs.tracer.span("weave"):
+                _, weaver = weave_benchmark(app, configs)
+            stubs = {
+                "margot_init": lambda: None,
+                "margot_update": lambda v, t: (v.set(args.version), t.set(1)),
+                "margot_start_monitor": lambda: None,
+                "margot_stop_monitor": lambda: None,
+                "margot_log": lambda: None,
+            }
+            interp = Interpreter(
+                weaver.unit, macro_overrides=overrides, intrinsics=stubs
+            )
+            print(
+                f"Interpreting weaved {app.name} (version {args.version}) at {overrides}..."
+            )
+        else:
+            with obs.tracer.span("parse"):
+                unit = app.parse()
+            interp = Interpreter(unit, macro_overrides=overrides)
+            print(f"Interpreting {app.name} at {overrides}...")
 
-    code = interp.run_main()
+        with obs.tracer.span("interpret", size=args.size):
+            code = interp.run_main()
     print(f"main() returned {code}")
+    if obs.enabled:
+        _write_obs_artifacts(obs, args)
     import numpy as np
 
     for decl_name in sorted(
@@ -278,6 +327,85 @@ def cmd_run(args: argparse.Namespace) -> int:
         value = interp.global_value(decl_name)
         if isinstance(value, np.ndarray):
             print(f"  {decl_name}: shape={value.shape} checksum={float(np.sum(value)):.6f}")
+    return 0
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    """Build an app, run a fig5-style scenario, export all obs formats.
+
+    Produces ``trace.json`` (Chrome trace_event), ``events.jsonl``
+    (full event stream), ``metrics.prom`` (Prometheus text) and
+    ``audit.jsonl`` (adaptation audit) under ``--out-dir``.
+    """
+    from pathlib import Path
+
+    from repro.core.scenario import Phase, Scenario
+    from repro.margot.state import (
+        OptimizationState,
+        maximize_throughput,
+        maximize_throughput_per_watt_squared,
+    )
+    from repro.obs import Observability
+    from repro.obs.export import (
+        write_audit_jsonl,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus,
+    )
+
+    obs = Observability()
+    flow = _toolflow(args, obs=obs)
+    app_def = _load_app(args.app)
+    print(f"Building adaptive {app_def.name} (traced)...")
+    result = flow.build(app_def)
+    app = result.adaptive
+    app.add_state(
+        OptimizationState("Thr/W^2", rank=maximize_throughput_per_watt_squared()),
+        activate=True,
+    )
+    app.add_state(OptimizationState("Throughput", rank=maximize_throughput()))
+    third = args.duration / 3.0
+    scenario = Scenario(
+        phases=[
+            Phase(0.0, "Thr/W^2"),
+            Phase(third, "Throughput"),
+            Phase(2 * third, "Thr/W^2"),
+        ],
+        duration_s=args.duration,
+    )
+    print(f"Running fig5-style scenario for {args.duration:.0f}s...")
+    records = scenario.run(app)
+    obs.absorb_engine(flow.engine)
+    obs.absorb_monitors(app.manager.monitors)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    spans = obs.tracer.spans
+    written = {
+        "trace.json": write_chrome_trace(spans, out_dir / "trace.json"),
+        "events.jsonl": write_jsonl(
+            out_dir / "events.jsonl", spans, obs.metrics, obs.audit
+        ),
+        "metrics.prom": write_prometheus(obs.metrics, out_dir / "metrics.prom"),
+        "audit.jsonl": write_audit_jsonl(obs.audit, out_dir / "audit.jsonl"),
+    }
+    print(
+        f"Scenario: {len(records)} invocations, "
+        f"{len(obs.audit)} operating-point switches explained"
+    )
+    for name, count in written.items():
+        print(f"Wrote {out_dir / name} ({count} records)")
+    return 0
+
+
+def cmd_obs_validate(args: argparse.Namespace) -> int:
+    """Validate exported observability artifacts (exit 2 on failure)."""
+    from repro.obs.validate import validate_file
+
+    for path in args.files:
+        summary = validate_file(path)
+        details = ", ".join(f"{key}={value}" for key, value in sorted(summary.items()))
+        print(f"{path}: OK ({details})")
     return 0
 
 
@@ -470,6 +598,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="evaluate design points on a process pool of this size",
     )
+    p.add_argument(
+        "--trace-out",
+        help="write the build's span tree as Chrome trace_event JSON",
+    )
     p.set_defaults(func=cmd_build)
 
     p = subparsers.add_parser(
@@ -491,6 +623,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", help="comma-separated thread counts for the DSE")
     p.add_argument("--repetitions", type=int, default=3)
     p.add_argument("--csv", help="write the trace to this CSV file")
+    p.add_argument(
+        "--trace-out",
+        help="write the build+scenario span tree as Chrome trace_event JSON",
+    )
+    p.add_argument(
+        "--audit-out",
+        help="write the adaptation audit log as JSONL",
+    )
     p.set_defaults(func=cmd_trace)
 
     p = subparsers.add_parser("profiles", help="workload profiles of all benchmarks")
@@ -510,7 +650,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=8, help="dimension override")
     p.add_argument("--weaved", action="store_true", help="run the weaved source")
     p.add_argument("--version", type=int, default=0, help="clone to dispatch (with --weaved)")
+    p.add_argument(
+        "--trace-out",
+        help="write parse/weave/interpret spans as Chrome trace_event JSON",
+    )
     p.set_defaults(func=cmd_run)
+
+    p = subparsers.add_parser(
+        "obs", help="observability: export and validate traces/metrics/audits"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "export", help="build + fig5-style scenario, export every obs format"
+    )
+    _add_app_argument(p)
+    p.add_argument("--out-dir", default="obs-out", help="output directory")
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument(
+        "--workers",
+        type=int,
+        help="evaluate design points on a process pool of this size",
+    )
+    p.set_defaults(func=cmd_obs_export)
+    p = obs_sub.add_parser(
+        "validate",
+        help="validate exported artifacts (.json Chrome trace, .jsonl events, .prom metrics)",
+    )
+    p.add_argument("files", nargs="+", help="artifact files to validate")
+    p.set_defaults(func=cmd_obs_validate)
 
     p = subparsers.add_parser(
         "margot-header", help="generate margot.h from a margot config"

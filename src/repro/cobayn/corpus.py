@@ -130,13 +130,15 @@ def build_corpus(
     if not 0.0 < good_fraction <= 1.0:
         raise ValueError("good_fraction must be in (0, 1]")
     engine = engine or EvaluationEngine(compiler=compiler, executor=executor, omp=omp)
+    tracer = engine.obs.tracer
     space = cobayn_space()
     points = reference_points(space)
     corpus = TrainingCorpus()
     for app in apps:
-        profile = engine.profile(app)
-        features = engine.features(app)
-        samples = engine.evaluate(profile, points, repetitions=1, noisy=False)
+        with tracer.span("cobayn.iterative", app=app.name, configs=len(points)):
+            profile = engine.profile(app)
+            features = engine.features(app)
+            samples = engine.evaluate(profile, points, repetitions=1, noisy=False)
         timings = [
             (config, sample.times[0]) for config, sample in zip(space, samples)
         ]

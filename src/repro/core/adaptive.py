@@ -26,6 +26,7 @@ from repro.machine.power import RaplMeter
 from repro.margot.knowledge import KnowledgeBase, OperatingPoint
 from repro.margot.manager import MargotManager
 from repro.margot.state import OptimizationState
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -96,12 +97,19 @@ class AdaptiveApplication:
         executor: MachineExecutor,
         omp: OpenMPRuntime,
         meter: Optional[RaplMeter] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         """``versions`` maps (compiler label, binding value) to the
-        compiled clone, mirroring the weaved wrapper's dispatch table."""
+        compiled clone, mirroring the weaved wrapper's dispatch table.
+
+        ``obs`` (when enabled) traces each MAPE-K iteration as a span
+        tree and feeds the adaptation audit log through the AS-RTM."""
         self.name = name
         self._versions = dict(versions)
-        self._manager = MargotManager(kernel_name=name, knowledge=knowledge)
+        self._obs = obs if obs is not None else NULL_OBS
+        self._manager = MargotManager(
+            kernel_name=name, knowledge=knowledge, obs=self._obs
+        )
         self._executor = executor
         self._omp = omp
         self._meter = meter
@@ -109,6 +117,10 @@ class AdaptiveApplication:
         self._trace: List[InvocationRecord] = []
 
     # -- mARGOt wiring ----------------------------------------------------------
+
+    @property
+    def obs(self) -> Observability:
+        return self._obs
 
     @property
     def manager(self) -> MargotManager:
@@ -137,18 +149,28 @@ class AdaptiveApplication:
 
     def run_once(self) -> InvocationRecord:
         """One kernel invocation through the weaved adaptive path."""
-        point = self._manager.update()
-        version, threads = self._dispatch(point)
-        placement = self._omp.place(threads, version.binding)
+        tracer = self._obs.tracer
+        with tracer.span("mapek.iteration", app=self.name, t=self._now):
+            with tracer.span("margot.update"):
+                point = self._manager.update(now=self._now)
+            version, threads = self._dispatch(point)
+            placement = self._omp.place(threads, version.binding)
 
-        self._manager.start_monitor(self._now)
-        result = self._executor.run(version.compiled, placement)
-        self._now += result.time_s
-        measured_power = (
-            self._meter.measure(result.power_w) if self._meter else result.power_w
-        )
-        self._manager.stop_monitor(self._now, power_w=measured_power)
-        self._manager.log(self._now)
+            self._manager.start_monitor(self._now)
+            with tracer.span(
+                "kernel.execute",
+                compiler=version.compiler_label,
+                threads=threads,
+                binding=version.binding.value,
+            ):
+                result = self._executor.run(version.compiled, placement)
+            self._now += result.time_s
+            measured_power = (
+                self._meter.measure(result.power_w) if self._meter else result.power_w
+            )
+            with tracer.span("monitor.observe"):
+                self._manager.stop_monitor(self._now, power_w=measured_power)
+                self._manager.log(self._now)
 
         record = InvocationRecord(
             timestamp=self._now,

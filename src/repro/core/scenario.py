@@ -63,9 +63,15 @@ class Scenario:
         """
         records: List[InvocationRecord] = []
         start = app.now
-        while app.now - start < self.duration_s:
-            wanted = self.state_at(app.now - start)
-            if app.active_state_name != wanted:
-                app.switch_state(wanted)
-            records.append(app.run_once())
+        with app.obs.tracer.span(
+            "scenario.run",
+            app=app.name,
+            phases=len(self.phases),
+            duration_s=self.duration_s,
+        ):
+            while app.now - start < self.duration_s:
+                wanted = self.state_at(app.now - start)
+                if app.active_state_name != wanted:
+                    app.switch_state(wanted)
+                records.append(app.run_once())
         return records

@@ -37,6 +37,7 @@ from repro.machine.openmp import OpenMPRuntime
 from repro.machine.power import RaplMeter
 from repro.machine.topology import Machine, default_machine
 from repro.milepost.features import FeatureVector
+from repro.obs import NULL_OBS, Observability
 from repro.polybench.apps.base import BenchmarkApp
 from repro.polybench.workload import WorkloadProfile
 
@@ -101,6 +102,7 @@ class SocratesToolflow:
         pareto_prune: bool = False,
         engine: Optional[EvaluationEngine] = None,
         backend=None,
+        obs: Optional[Observability] = None,
     ) -> None:
         """``pareto_prune`` reduces the runtime knowledge base to its
         Pareto front under (max throughput, min power) — mARGOt's usual
@@ -112,7 +114,10 @@ class SocratesToolflow:
         compiler/executor/runtime the toolflow adopts (sharing caches
         with other consumers); ``backend`` picks the evaluation backend
         (e.g. :class:`~repro.engine.ProcessPoolBackend`) when the
-        toolflow builds its own engine."""
+        toolflow builds its own engine; ``obs`` threads an
+        :class:`~repro.obs.Observability` through every layer of the
+        build (with a pre-built engine, the engine's own handle is
+        adopted unless ``obs`` is given explicitly)."""
         if dse_repetitions < 1:
             raise ValueError(
                 f"dse_repetitions must be >= 1, got {dse_repetitions}"
@@ -126,7 +131,9 @@ class SocratesToolflow:
             self._omp = engine.omp
             self._compiler = engine.compiler
             self._executor = engine.executor
+            self._obs = obs if obs is not None else engine.obs
         else:
+            self._obs = obs if obs is not None else NULL_OBS
             self._machine = machine or default_machine()
             self._omp = OpenMPRuntime(self._machine)
             self._compiler = Compiler()
@@ -137,6 +144,7 @@ class SocratesToolflow:
                 omp=self._omp,
                 machine=self._machine,
                 backend=backend,
+                obs=self._obs,
             )
         self._dse_repetitions = dse_repetitions
         self._cobayn_k = cobayn_k
@@ -170,6 +178,10 @@ class SocratesToolflow:
     def engine(self) -> EvaluationEngine:
         return self._engine
 
+    @property
+    def obs(self) -> Observability:
+        return self._obs
+
     # -- pipeline ----------------------------------------------------------------
 
     def build(
@@ -184,18 +196,19 @@ class SocratesToolflow:
         applications (leave-one-out), so COBAYN never trains on the
         kernel it predicts for.
         """
-        recorder = TelemetryRecorder(self._engine)
-        with recorder.stage("characterize"):
-            features = self._characterize(app)
-        with recorder.stage("prune"):
-            custom = self._prune_compiler_space(app, features, training_apps)
-        configs = standard_levels() + custom
-        with recorder.stage("weave"):
-            report, weaver = weave_benchmark(app, configs)
-        with recorder.stage("profile"):
-            exploration = self._profile(app, configs, dse_strategy)
-        with recorder.stage("assemble"):
-            adaptive = self._assemble(app, configs, exploration)
+        recorder = TelemetryRecorder(self._engine, tracer=self._obs.tracer)
+        with self._obs.tracer.span(f"build:{app.name}", app=app.name):
+            with recorder.stage("characterize"):
+                features = self._characterize(app)
+            with recorder.stage("prune"):
+                custom = self._prune_compiler_space(app, features, training_apps)
+            configs = standard_levels() + custom
+            with recorder.stage("weave"):
+                report, weaver = weave_benchmark(app, configs)
+            with recorder.stage("profile"):
+                exploration = self._profile(app, configs, dse_strategy)
+            with recorder.stage("assemble"):
+                adaptive = self._assemble(app, configs, exploration)
         return ToolflowResult(
             app=app,
             features=features,
@@ -235,15 +248,21 @@ class SocratesToolflow:
             ]
         key = tuple(sorted(candidate.name for candidate in training_apps))
         if key not in self._tuner_cache:
-            corpus = build_corpus(
-                training_apps,
-                self._compiler,
-                self._executor,
-                self._omp,
-                engine=self._engine,
-            )
+            with self._obs.tracer.span(
+                "cobayn.corpus", training_apps=len(training_apps)
+            ):
+                corpus = build_corpus(
+                    training_apps,
+                    self._compiler,
+                    self._executor,
+                    self._omp,
+                    engine=self._engine,
+                )
             tuner = CobaynAutotuner()
-            tuner.train(corpus)
+            with self._obs.tracer.span(
+                "cobayn.train", examples=len(corpus.examples)
+            ):
+                tuner.train(corpus)
             self._tuner_cache[key] = tuner
         return self._tuner_cache[key]
 
@@ -289,4 +308,5 @@ class SocratesToolflow:
             executor=self._executor,
             omp=self._omp,
             meter=meter,
+            obs=self._obs,
         )

@@ -50,28 +50,58 @@ def trace_to_csv(records: Sequence[InvocationRecord], path: Union[str, Path]) ->
             )
 
 
+#: Numeric trace columns and the casts they require.
+_NUMERIC_FIELDS = {
+    "timestamp": float,
+    "threads": int,
+    "time_s": float,
+    "power_w": float,
+    "energy_j": float,
+}
+
+
+def _parse_row(row: Dict[str, object], row_number: int) -> InvocationRecord:
+    values: Dict[str, object] = {}
+    for column in _FIELDS:
+        raw = row.get(column)
+        if raw is None:
+            raise ValueError(
+                f"trace row {row_number} is truncated: column {column!r} is missing"
+            )
+        cast = _NUMERIC_FIELDS.get(column)
+        if cast is None:
+            values[column] = raw
+            continue
+        try:
+            values[column] = cast(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"trace row {row_number}, column {column!r}: "
+                f"cannot parse {raw!r} as {cast.__name__}"
+            ) from None
+    return InvocationRecord(**values)  # type: ignore[arg-type]
+
+
 def trace_from_csv(path: Union[str, Path]) -> List[InvocationRecord]:
-    """Load a trace written by :func:`trace_to_csv`."""
+    """Load a trace written by :func:`trace_to_csv`.
+
+    Malformed input raises :class:`ValueError` naming the offending
+    row and column (1-based data rows, the header is row 0) instead of
+    surfacing a bare cast traceback.
+    """
     records: List[InvocationRecord] = []
     with open(path, newline="") as handle:
         reader = csv.DictReader(handle)
         missing = set(_FIELDS) - set(reader.fieldnames or ())
         if missing:
             raise ValueError(f"trace file lacks columns: {sorted(missing)}")
-        for row in reader:
-            records.append(
-                InvocationRecord(
-                    timestamp=float(row["timestamp"]),
-                    state=row["state"],
-                    compiler=row["compiler"],
-                    threads=int(row["threads"]),
-                    binding=row["binding"],
-                    time_s=float(row["time_s"]),
-                    power_w=float(row["power_w"]),
-                    energy_j=float(row["energy_j"]),
-                )
-            )
+        for row_number, row in enumerate(reader, start=1):
+            records.append(_parse_row(row, row_number))
     return records
+
+
+#: Alias matching the exporter's ``trace_to_csv`` naming.
+load_trace = trace_from_csv
 
 
 @dataclass(frozen=True)

@@ -99,12 +99,21 @@ class DesignSpaceExplorer:
         strategy = strategy or FullFactorialStrategy()
         rng = np.random.default_rng(seed)
         selected = strategy.select(space.points(), rng)
-        samples = self._engine.evaluate(
-            profile, selected, repetitions=self._repetitions
-        )
-        knowledge = KnowledgeBase()
-        for sample in samples:
-            knowledge.add(self._to_operating_point(sample))
+        tracer = self._engine.obs.tracer
+        with tracer.span(
+            "dse.explore",
+            kernel=profile.kernel,
+            strategy=type(strategy).__name__,
+            space_size=space.size,
+            selected=len(selected),
+            repetitions=self._repetitions,
+        ):
+            samples = self._engine.evaluate(
+                profile, selected, repetitions=self._repetitions
+            )
+            knowledge = KnowledgeBase()
+            for sample in samples:
+                knowledge.add(self._to_operating_point(sample))
         return ExplorationResult(
             kernel=profile.kernel,
             knowledge=knowledge,

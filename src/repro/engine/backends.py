@@ -18,16 +18,23 @@ truths regardless of which worker produced them.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.gcc.compiler import CompiledKernel
 from repro.machine.executor import MachineExecutor
 from repro.machine.openmp import BindingPolicy, OpenMPRuntime, ThreadPlacement
+from repro.obs.tracing import Tracer
 
 #: One unit of backend work: compiled kernel + placement request.
 WorkItem = Tuple[CompiledKernel, int, str]
 #: Noise-free outcome of one work item.
 Truth = Tuple[float, float]
+
+
+def _truth_span_name(item: WorkItem) -> str:
+    kernel, threads, binding = item
+    return f"truth:{kernel.profile.kernel}@{threads}t/{binding}"
 
 
 class SerialBackend:
@@ -41,15 +48,23 @@ class SerialBackend:
         executor: MachineExecutor,
         omp: OpenMPRuntime,
         items: Sequence[WorkItem],
+        tracer: Optional[Tracer] = None,
     ) -> List[Truth]:
         placements: Dict[Tuple[int, str], ThreadPlacement] = {}
         truths: List[Truth] = []
-        for kernel, threads, binding in items:
+        for item in items:
+            kernel, threads, binding = item
             placement = placements.get((threads, binding))
             if placement is None:
                 placement = omp.place(threads, BindingPolicy(binding))
                 placements[(threads, binding)] = placement
-            result = executor.evaluate(kernel, placement)
+            if tracer is not None and tracer.enabled:
+                with tracer.span(
+                    _truth_span_name(item), compiler=kernel.config.label
+                ):
+                    result = executor.evaluate(kernel, placement)
+            else:
+                result = executor.evaluate(kernel, placement)
             truths.append((result.time_s, result.power_w))
         return truths
 
@@ -81,6 +96,18 @@ def _evaluate_item(item: WorkItem) -> Truth:
     return (result.time_s, result.power_w)
 
 
+def _evaluate_item_timed(item: WorkItem) -> Tuple[Truth, float]:
+    """Traced variant: also report how long the worker spent on the item.
+
+    Worker clocks are not comparable across processes, so only the
+    duration crosses the boundary; the parent re-bases it into the
+    submitting span (see :meth:`Tracer.adopt`).
+    """
+    start = time.perf_counter()
+    truth = _evaluate_item(item)
+    return truth, time.perf_counter() - start
+
+
 class ProcessPoolBackend:
     """Shards work items across a pool of OS processes.
 
@@ -110,15 +137,51 @@ class ProcessPoolBackend:
         executor: MachineExecutor,
         omp: OpenMPRuntime,
         items: Sequence[WorkItem],
+        tracer: Optional[Tracer] = None,
     ) -> List[Truth]:
         # tiny batches are not worth a pool spin-up
         if len(items) <= self._chunksize or self._max_workers == 1:
-            return SerialBackend().run_truths(executor, omp, items)
+            return SerialBackend().run_truths(executor, omp, items, tracer=tracer)
         from concurrent.futures import ProcessPoolExecutor
 
+        traced = tracer is not None and tracer.enabled
         with ProcessPoolExecutor(
             max_workers=self._max_workers,
             initializer=_init_worker,
             initargs=(executor, omp),
         ) as pool:
-            return list(pool.map(_evaluate_item, items, chunksize=self._chunksize))
+            if not traced:
+                return list(
+                    pool.map(_evaluate_item, items, chunksize=self._chunksize)
+                )
+            timed = list(
+                pool.map(_evaluate_item_timed, items, chunksize=self._chunksize)
+            )
+        self._adopt_worker_spans(tracer, items, timed)
+        return [truth for truth, _ in timed]
+
+    def _adopt_worker_spans(
+        self,
+        tracer: Tracer,
+        items: Sequence[WorkItem],
+        timed: Sequence[Tuple[Truth, float]],
+    ) -> None:
+        """Re-parent worker-measured spans into the submitting span.
+
+        The pool does not report which worker ran which item, so items
+        are laid out greedily onto ``max_workers`` lanes (each lane is
+        one exported track): the next item goes to the earliest-free
+        lane.  Lane layout is a reconstruction of the schedule, but
+        durations are the workers' real measurements.
+        """
+        lane_free = [0.0] * self._max_workers
+        for item, (_, duration) in zip(items, timed):
+            lane = min(range(self._max_workers), key=lane_free.__getitem__)
+            tracer.adopt(
+                _truth_span_name(item),
+                duration_s=duration,
+                offset_s=lane_free[lane],
+                track=f"pool-{lane}",
+                compiler=item[0].config.label,
+            )
+            lane_free[lane] += duration

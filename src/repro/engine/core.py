@@ -35,6 +35,8 @@ from repro.machine.executor import MachineExecutor
 from repro.machine.openmp import OpenMPRuntime
 from repro.machine.topology import Machine, default_machine
 from repro.milepost.features import FeatureVector
+from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 from repro.polybench.apps.base import BenchmarkApp
 from repro.polybench.workload import WorkloadProfile
 
@@ -62,6 +64,7 @@ class EvaluationEngine:
         omp: Optional[OpenMPRuntime] = None,
         machine: Optional[Machine] = None,
         backend=None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if machine is None:
             machine = executor.machine if executor is not None else default_machine()
@@ -70,6 +73,27 @@ class EvaluationEngine:
         self._executor = executor or MachineExecutor(machine)
         self._omp = omp or OpenMPRuntime(machine)
         self._backend = backend or SerialBackend()
+        self._obs = obs if obs is not None else NULL_OBS
+        # instrument handles are resolved once; with the null registry
+        # these are shared no-op sinks, so hot paths stay cheap
+        metrics = self._obs.metrics
+        self._metric_points = metrics.counter(
+            "socrates_engine_points_evaluated_total",
+            help="design points measured through evaluate()",
+        )
+        self._metric_truth_hits = metrics.counter(
+            "socrates_engine_truth_cache_hits_total",
+            help="truth-cache hits across evaluate() batches",
+        )
+        self._metric_truth_misses = metrics.counter(
+            "socrates_engine_truth_cache_misses_total",
+            help="truth-cache misses (model evaluations paid)",
+        )
+        self._metric_batch = metrics.histogram(
+            "socrates_engine_batch_points",
+            boundaries=DEFAULT_SIZE_BUCKETS,
+            help="points per evaluate() batch",
+        )
         self._compile_cache = CompileCache(self._compiler)
         self._profile_cache = ProfileCache()
         # model truths are pure functions of (kernel, placement): cache
@@ -101,6 +125,10 @@ class EvaluationEngine:
     @property
     def backend(self):
         return self._backend
+
+    @property
+    def obs(self) -> Observability:
+        return self._obs
 
     @property
     def compile_cache(self) -> CompileCache:
@@ -156,6 +184,23 @@ class EvaluationEngine:
         """
         if repetitions < 1:
             raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        with self._obs.tracer.span(
+            "engine.evaluate",
+            kernel=profile.kernel,
+            points=len(points),
+            repetitions=repetitions,
+            noisy=noisy,
+            backend=self._backend.name,
+        ):
+            return self._evaluate(profile, points, repetitions, noisy)
+
+    def _evaluate(
+        self,
+        profile: WorkloadProfile,
+        points: Sequence[DesignPoint],
+        repetitions: int,
+        noisy: bool,
+    ) -> List[ProfiledSample]:
         kernels: Dict[str, CompiledKernel] = {}
         for point in points:
             label = point.compiler.label
@@ -187,13 +232,23 @@ class EvaluationEngine:
                     point.binding.value,
                 )
         if missing:
-            computed = self._backend.run_truths(
-                self._executor, self._omp, list(missing.values())
-            )
+            tracer = self._obs.tracer
+            # the tracer kwarg is only passed when tracing, so backends
+            # predating (or ignorant of) repro.obs keep working
+            extra = {"tracer": tracer} if tracer.enabled else {}
+            with tracer.span(
+                "backend.run_truths", items=len(missing), backend=self._backend.name
+            ):
+                computed = self._backend.run_truths(
+                    self._executor, self._omp, list(missing.values()), **extra
+                )
             for key, truth in zip(missing, computed):
                 self._truth_cache[key] = truth
         self._truth_misses += len(missing)
         self._truth_hits += len(points) - len(missing)
+        self._metric_truth_misses.inc(len(missing))
+        self._metric_truth_hits.inc(len(points) - len(missing))
+        self._metric_batch.observe(len(points))
         samples: List[ProfiledSample] = []
         for index, point in enumerate(points):
             time_truth, power_truth = self._truth_cache[point_keys[index]]
@@ -206,6 +261,7 @@ class EvaluationEngine:
                 powers = [power_truth] * repetitions
             samples.append(ProfiledSample(point=point, times=times, powers=powers))
         self._points_evaluated += len(points)
+        self._metric_points.inc(len(points))
         return samples
 
     # -- accounting -------------------------------------------------------------

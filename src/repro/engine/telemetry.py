@@ -6,6 +6,12 @@ and evaluation counters around the stage body and appends one
 :class:`StageEvent` with the wall time and counter deltas.  The CLI
 dumps the events as JSON (``socrates build --stage-report`` /
 ``socrates stats``).
+
+Since the introduction of :mod:`repro.obs`, the recorder is a thin
+adapter over the span tracer: each stage additionally opens a
+``stage:<name>`` span on the tracer it was given (the shared no-op
+tracer by default), so stage events and the hierarchical trace always
+agree on stage boundaries.
 """
 
 from __future__ import annotations
@@ -13,8 +19,10 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass
-from typing import Dict, Iterator, List
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.tracing import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -30,25 +38,34 @@ class StageEvent:
     truth_hits: int
     truth_misses: int
     points_evaluated: int
+    ok: bool = True
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
 
 
+#: StageEvent fields summed into the report totals — every numeric
+#: counter except the identifying/boolean ones, derived from the
+#: dataclass so a newly added counter cannot be silently omitted.
+_TOTALED_FIELDS = tuple(
+    f.name for f in fields(StageEvent) if f.name not in ("stage", "ok")
+)
+
+
 def stage_report(events: List[StageEvent]) -> Dict[str, object]:
-    """JSON-able report: per-stage events plus totals."""
+    """JSON-able report: per-stage events plus totals.
+
+    ``totals`` sums every numeric :class:`StageEvent` field; ``ok`` is
+    the conjunction over stages (``True`` for an empty report).
+    """
+    totals: Dict[str, object] = {
+        name: sum(getattr(event, name) for event in events)
+        for name in _TOTALED_FIELDS
+    }
+    totals["ok"] = all(event.ok for event in events)
     return {
         "stages": [event.as_dict() for event in events],
-        "totals": {
-            "wall_time_s": sum(event.wall_time_s for event in events),
-            "compile_hits": sum(event.compile_hits for event in events),
-            "compile_misses": sum(event.compile_misses for event in events),
-            "profile_hits": sum(event.profile_hits for event in events),
-            "profile_misses": sum(event.profile_misses for event in events),
-            "truth_hits": sum(event.truth_hits for event in events),
-            "truth_misses": sum(event.truth_misses for event in events),
-            "points_evaluated": sum(event.points_evaluated for event in events),
-        },
+        "totals": totals,
     }
 
 
@@ -59,8 +76,9 @@ def stage_report_json(events: List[StageEvent], indent: int = 2) -> str:
 class TelemetryRecorder:
     """Collects :class:`StageEvent` records around an engine's stages."""
 
-    def __init__(self, engine) -> None:
+    def __init__(self, engine, tracer: Optional[Tracer] = None) -> None:
         self._engine = engine
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._events: List[StageEvent] = []
 
     @property
@@ -71,8 +89,13 @@ class TelemetryRecorder:
     def stage(self, name: str) -> Iterator[None]:
         before = self._engine.counters
         start = time.perf_counter()
+        ok = True
         try:
-            yield
+            with self._tracer.span(f"stage:{name}"):
+                yield
+        except BaseException:
+            ok = False
+            raise
         finally:
             wall = time.perf_counter() - start
             after = self._engine.counters
@@ -88,6 +111,7 @@ class TelemetryRecorder:
                     truth_misses=after.truth_misses - before.truth_misses,
                     points_evaluated=after.points_evaluated
                     - before.points_evaluated,
+                    ok=ok,
                 )
             )
 

@@ -15,15 +15,29 @@ Selection follows mARGOt's semantics: constraints filter the OP list
 in priority order; if a constraint wipes out every surviving OP it is
 *relaxed* — the OPs closest to satisfying it are kept instead; the
 rank then orders the survivors.
+
+When an :class:`~repro.obs.audit.AdaptationAuditLog` is attached,
+every selection that *switches* the operating point records one
+explained entry — candidates considered, constraint filtering (with
+feedback adjustments and relaxations), rank values, and the reason the
+winner won.  Without an audit log attached, ``update`` takes the exact
+pre-observability fast path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.margot.knowledge import KnowledgeBase, OperatingPoint
 from repro.margot.monitor import Monitor
 from repro.margot.state import Constraint, OptimizationState
+from repro.obs.audit import (
+    AdaptationAuditLog,
+    AdaptationEntry,
+    CandidateTrace,
+    ConstraintTrace,
+    describe_rank,
+)
 
 
 class AsrtmError(RuntimeError):
@@ -33,7 +47,11 @@ class AsrtmError(RuntimeError):
 class ApplicationRuntimeManager:
     """One AS-RTM instance manages one kernel / region of interest."""
 
-    def __init__(self, knowledge: KnowledgeBase) -> None:
+    def __init__(
+        self,
+        knowledge: KnowledgeBase,
+        audit: Optional[AdaptationAuditLog] = None,
+    ) -> None:
         if not knowledge:
             raise AsrtmError("cannot build an AS-RTM over an empty knowledge base")
         self._knowledge = knowledge
@@ -43,6 +61,7 @@ class ApplicationRuntimeManager:
         self._feedback_smoothing = 0.5
         self._observations: Dict[str, Monitor] = {}
         self._current: Optional[OperatingPoint] = None
+        self._audit = audit
 
     # -- state management -----------------------------------------------------
 
@@ -111,27 +130,85 @@ class ApplicationRuntimeManager:
 
     # -- selection ----------------------------------------------------------------
 
-    def update(self) -> OperatingPoint:
+    def update(self, now: Optional[float] = None) -> OperatingPoint:
         """Select the best operating point under the active state.
 
         Implements the mARGOt decision: ingest monitor feedback, filter
         by constraints (with relaxation), rank, remember the choice.
+        ``now`` is an optional (virtual) timestamp used only to stamp
+        audit entries.
         """
         self.ingest_feedback()
         state = self.active_state
-        survivors = self._filter(state)
-        best = self._rank(state, survivors)
-        if self._current is not None and best.key != self._current.key:
+        auditing = self._audit is not None
+        constraint_traces: Optional[List[ConstraintTrace]] = (
+            [] if auditing else None
+        )
+        survivors = self._filter(state, trace=constraint_traces)
+        if auditing:
+            best, ranked = self._rank_all(state, survivors)
+        else:
+            best = self._rank(state, survivors)
+        switched = self._current is None or best.key != self._current.key
+        if switched and self._current is not None:
             # configuration change: observations of the old operating
             # point must not be attributed to the new one
             for monitor in self._observations.values():
                 monitor.clear()
+        if auditing and switched:
+            self._record_audit(
+                state, best, ranked, constraint_traces or [], now=now
+            )
         self._current = best
         return best
 
     @property
     def current(self) -> Optional[OperatingPoint]:
         return self._current
+
+    @property
+    def audit(self) -> Optional[AdaptationAuditLog]:
+        return self._audit
+
+    def attach_audit(self, audit: Optional[AdaptationAuditLog]) -> None:
+        """Enable (or disable, with ``None``) adaptation auditing."""
+        self._audit = audit
+
+    def _record_audit(
+        self,
+        state: OptimizationState,
+        best: OperatingPoint,
+        ranked: List[Tuple[OperatingPoint, float]],
+        constraint_traces: List[ConstraintTrace],
+        now: Optional[float],
+    ) -> None:
+        assert self._audit is not None
+        limit = self._audit.max_candidates
+        candidates = [
+            CandidateTrace(knobs=point.key, rank_value=value)
+            for point, value in ranked[:limit]
+        ]
+        winner_rank = next(
+            value for point, value in ranked if point.key == best.key
+        )
+        self._audit.record(
+            AdaptationEntry(
+                sequence=self._audit.next_sequence(),
+                timestamp=now,
+                state=state.name,
+                rank=describe_rank(state.rank),
+                considered=len(self._knowledge),
+                survivors=len(ranked),
+                constraints=constraint_traces,
+                candidates=candidates,
+                winner=dict(best.knobs),
+                winner_rank=winner_rank,
+                switched_from=dict(self._current.knobs)
+                if self._current is not None
+                else None,
+                reason="",  # composed by the log from the fields above
+            )
+        )
 
     def _adjusted_metrics(self, point: OperatingPoint) -> Dict[str, float]:
         values: Dict[str, float] = {}
@@ -142,27 +219,44 @@ class ApplicationRuntimeManager:
                 values[name] = float(value)
         return values
 
-    def _filter(self, state: OptimizationState) -> List[OperatingPoint]:
+    def _filter(
+        self,
+        state: OptimizationState,
+        trace: Optional[List[ConstraintTrace]] = None,
+    ) -> List[OperatingPoint]:
         survivors = self._knowledge.points()
         for constraint in state.constraints:
             adjust = self._feedback.get(constraint.goal.field, 1.0)
+            before = len(survivors)
             satisfying = [
                 point for point in survivors if constraint.satisfied_by(point, adjust)
             ]
             if satisfying:
                 survivors = satisfying
-                continue
-            # relaxation: keep the OPs with the smallest violation of
-            # this constraint so more important (earlier) constraints
-            # stay enforced and selection never comes up empty
-            best_violation = min(
-                constraint.violation(point, adjust) for point in survivors
-            )
-            survivors = [
-                point
-                for point in survivors
-                if constraint.violation(point, adjust) <= best_violation + 1e-12
-            ]
+                relaxed = False
+            else:
+                # relaxation: keep the OPs with the smallest violation of
+                # this constraint so more important (earlier) constraints
+                # stay enforced and selection never comes up empty
+                best_violation = min(
+                    constraint.violation(point, adjust) for point in survivors
+                )
+                survivors = [
+                    point
+                    for point in survivors
+                    if constraint.violation(point, adjust) <= best_violation + 1e-12
+                ]
+                relaxed = True
+            if trace is not None:
+                trace.append(
+                    ConstraintTrace(
+                        goal=str(constraint.goal),
+                        adjustment=adjust,
+                        survivors_before=before,
+                        survivors_after=len(survivors),
+                        relaxed=relaxed,
+                    )
+                )
         return survivors
 
     def _rank(
@@ -178,3 +272,30 @@ class ApplicationRuntimeManager:
                 best_value = value
                 best_point = point
         return best_point
+
+    def _rank_all(
+        self, state: OptimizationState, candidates: List[OperatingPoint]
+    ) -> Tuple[OperatingPoint, List[Tuple[OperatingPoint, float]]]:
+        """Auditing variant of :meth:`_rank`: same winner (first-best on
+        ties, like the linear scan), plus every candidate's rank value
+        in best-first order."""
+        if not candidates:
+            raise AsrtmError("constraint filtering produced no candidates")
+        valued = [
+            (point, state.rank.evaluate(self._adjusted_metrics(point)))
+            for point in candidates
+        ]
+        best_point, best_value = valued[0]
+        for point, value in valued[1:]:
+            if state.rank.better(value, best_value):
+                best_value = value
+                best_point = point
+        reverse = state.rank.better(1.0, 0.0)  # maximize ⇒ big first
+        ranked = sorted(
+            enumerate(valued),
+            key=lambda item: (
+                -item[1][1] if reverse else item[1][1],
+                item[0],  # stable: knowledge order breaks ties
+            ),
+        )
+        return best_point, [pair for _, pair in ranked]

@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional
 from repro.margot.asrtm import ApplicationRuntimeManager
 from repro.margot.knowledge import KnowledgeBase, OperatingPoint
 from repro.margot.monitor import Monitor, PowerMonitor, ThroughputMonitor, TimeMonitor
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass
@@ -41,9 +42,15 @@ class LogRecord:
 class MargotManager:
     """Per-kernel manager bundling the AS-RTM and its monitors."""
 
-    def __init__(self, kernel_name: str, knowledge: KnowledgeBase) -> None:
+    def __init__(
+        self,
+        kernel_name: str,
+        knowledge: KnowledgeBase,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.kernel_name = kernel_name
-        self._asrtm = ApplicationRuntimeManager(knowledge)
+        self._obs = obs if obs is not None else NULL_OBS
+        self._asrtm = ApplicationRuntimeManager(knowledge, audit=self._obs.audit)
         self._time_monitor = TimeMonitor()
         self._throughput_monitor = ThroughputMonitor()
         self._power_monitor = PowerMonitor()
@@ -55,9 +62,11 @@ class MargotManager:
 
     # -- the four weaved calls -----------------------------------------------
 
-    def update(self) -> OperatingPoint:
-        """Select the configuration for the next region execution."""
-        return self._asrtm.update()
+    def update(self, now: Optional[float] = None) -> OperatingPoint:
+        """Select the configuration for the next region execution.
+
+        ``now`` (virtual time) only stamps adaptation-audit entries."""
+        return self._asrtm.update(now=now)
 
     def start_monitor(self, now: float) -> None:
         if self._region_open:
@@ -93,9 +102,16 @@ class MargotManager:
             state=self._asrtm.active_state.name,
         )
         self._log.append(record)
+        if self._obs.enabled:
+            # keep the metrics registry's view of the monitors current
+            self._obs.absorb_monitors(self.monitors)
         return record
 
     # -- passthroughs -----------------------------------------------------------
+
+    @property
+    def obs(self) -> Observability:
+        return self._obs
 
     @property
     def asrtm(self) -> ApplicationRuntimeManager:

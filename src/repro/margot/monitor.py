@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 
 class MonitorError(RuntimeError):
@@ -69,6 +69,23 @@ class Monitor:
     def min(self) -> float:
         self._require_data()
         return min(self._buffer)
+
+    def summary(self) -> "Dict[str, float]":
+        """Every windowed statistic at once (``{}`` when empty).
+
+        This is the snapshot the observability layer's metrics registry
+        absorbs as gauges (``socrates_monitor_<metric>_<stat>``).
+        """
+        if not self._buffer:
+            return {"count": 0.0}
+        return {
+            "count": float(len(self._buffer)),
+            "last": self.last(),
+            "average": self.average(),
+            "stddev": self.stddev(),
+            "min": self.min(),
+            "max": self.max(),
+        }
 
     def _require_data(self) -> None:
         if not self._buffer:

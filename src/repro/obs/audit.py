@@ -1,0 +1,179 @@
+"""The adaptation audit log: why the AS-RTM picked what it picked.
+
+Every time ``margot_update`` switches the application to a different
+operating point, the AS-RTM (when auditing is enabled) records one
+:class:`AdaptationEntry` explaining the decision end to end:
+
+* which optimization state was active and what its rank objective was;
+* how each constraint filtered the operating-point list — including
+  the runtime-feedback adjustment applied and whether the constraint
+  had to be *relaxed* because no OP satisfied it;
+* the top-ranked surviving candidates with their rank values;
+* the winner, the OP it replaced, and a human-readable ``reason``.
+
+This makes every configuration change in a Figure 5 scenario
+explainable: "why did the application move to 16 threads at t=112s?"
+is answered by the entry stamped 112s, not by re-deriving the
+selection by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ConstraintTrace:
+    """How one constraint behaved during one selection."""
+
+    goal: str
+    adjustment: float
+    survivors_before: int
+    survivors_after: int
+    relaxed: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "goal": self.goal,
+            "adjustment": self.adjustment,
+            "survivors_before": self.survivors_before,
+            "survivors_after": self.survivors_after,
+            "relaxed": self.relaxed,
+        }
+
+
+@dataclass(frozen=True)
+class CandidateTrace:
+    """One surviving operating point and its rank value."""
+
+    knobs: Tuple[Tuple[str, object], ...]
+    rank_value: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"knobs": dict(self.knobs), "rank_value": self.rank_value}
+
+
+@dataclass
+class AdaptationEntry:
+    """One explained operating-point switch."""
+
+    sequence: int
+    state: str
+    rank: str
+    considered: int
+    survivors: int
+    constraints: List[ConstraintTrace]
+    candidates: List[CandidateTrace]
+    winner: Dict[str, object]
+    winner_rank: float
+    switched_from: Optional[Dict[str, object]]
+    reason: str
+    timestamp: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "sequence": self.sequence,
+            "timestamp": self.timestamp,
+            "state": self.state,
+            "rank": self.rank,
+            "considered": self.considered,
+            "survivors": self.survivors,
+            "constraints": [trace.as_dict() for trace in self.constraints],
+            "candidates": [candidate.as_dict() for candidate in self.candidates],
+            "winner": dict(self.winner),
+            "winner_rank": self.winner_rank,
+            "switched_from": dict(self.switched_from)
+            if self.switched_from is not None
+            else None,
+            "reason": self.reason,
+        }
+
+
+def describe_rank(rank) -> str:
+    """Compact human-readable form of a mARGOt rank objective."""
+    from repro.margot.state import RankComposition
+
+    if rank.composition is RankComposition.GEOMETRIC:
+        terms = "*".join(f"{f.metric}^{f.coefficient:g}" for f in rank.fields)
+    else:
+        terms = " + ".join(
+            f.metric if f.coefficient == 1.0 else f"{f.coefficient:g}*{f.metric}"
+            for f in rank.fields
+        )
+    return f"{rank.direction.value} {terms}"
+
+
+def _knobs_text(knobs: Dict[str, object]) -> str:
+    return ", ".join(f"{name}={value}" for name, value in sorted(knobs.items()))
+
+
+def compose_reason(entry: AdaptationEntry) -> str:
+    """The default one-line explanation for an entry."""
+    parts: List[str] = []
+    if entry.switched_from is None:
+        parts.append(f"initial selection under state {entry.state!r}")
+    else:
+        parts.append(
+            f"switched from ({_knobs_text(entry.switched_from)}) "
+            f"under state {entry.state!r}"
+        )
+    relaxed = [trace.goal for trace in entry.constraints if trace.relaxed]
+    if relaxed:
+        parts.append(
+            f"constraint(s) {', '.join(relaxed)} relaxed (no OP satisfied them)"
+        )
+    elif entry.constraints:
+        parts.append(
+            f"{entry.survivors}/{entry.considered} OPs satisfy all "
+            f"{len(entry.constraints)} constraint(s)"
+        )
+    parts.append(
+        f"{entry.rank} picks ({_knobs_text(entry.winner)}) "
+        f"with rank {entry.winner_rank:.6g}"
+    )
+    if len(entry.candidates) > 1:
+        runner_up = entry.candidates[1]
+        parts.append(
+            f"runner-up ({_knobs_text(dict(runner_up.knobs))}) "
+            f"at {runner_up.rank_value:.6g}"
+        )
+    return "; ".join(parts)
+
+
+class AdaptationAuditLog:
+    """Append-only log of explained operating-point switches."""
+
+    def __init__(self, max_candidates: int = 5) -> None:
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        self._max_candidates = max_candidates
+        self._entries: List[AdaptationEntry] = []
+
+    @property
+    def max_candidates(self) -> int:
+        return self._max_candidates
+
+    @property
+    def entries(self) -> List[AdaptationEntry]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, entry: AdaptationEntry) -> AdaptationEntry:
+        if not entry.reason:
+            entry.reason = compose_reason(entry)
+        self._entries.append(entry)
+        return entry
+
+    def stamp_last(self, timestamp: float) -> None:
+        """Set the virtual-time stamp of the most recent entry."""
+        if self._entries:
+            self._entries[-1].timestamp = timestamp
+
+    def next_sequence(self) -> int:
+        return len(self._entries)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [entry.as_dict() for entry in self._entries]

@@ -1,0 +1,184 @@
+"""Exporters: JSONL event stream, Chrome trace, Prometheus text.
+
+Three formats, three audiences:
+
+* :func:`events_jsonl` — everything (spans, metrics, audit entries) as
+  one JSON object per line, for ad-hoc ``jq``-style analysis;
+* :func:`chrome_trace` — the span tree as Chrome ``trace_event``
+  *complete* events (``"ph": "X"``), loadable in Perfetto or
+  ``chrome://tracing``; spans on the same track share a ``tid`` so the
+  viewer reconstructs the nesting from timestamps;
+* :func:`prometheus_text` — the metrics registry in the Prometheus
+  text exposition format (``# HELP`` / ``# TYPE`` / sample lines,
+  histograms with cumulative ``_bucket{le=...}`` series).
+
+All exports are re-based so the earliest span starts at t=0: the
+monotonic clock's epoch is arbitrary, and a zero-based trace makes two
+seeded runs diff cleanly apart from durations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.obs.audit import AdaptationAuditLog
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import MAIN_TRACK, Span
+
+PathLike = Union[str, Path]
+
+
+def _origin(spans: Sequence[Span]) -> float:
+    return min((span.start_s for span in spans), default=0.0)
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+
+def chrome_trace(spans: Sequence[Span], process_name: str = "socrates") -> Dict[str, object]:
+    """The span tree as a Chrome ``trace_event`` JSON document."""
+    origin = _origin(spans)
+    track_ids: Dict[str, int] = {MAIN_TRACK: 0}
+    events: List[Dict[str, object]] = []
+    for span in sorted(spans, key=lambda s: (s.start_s, -s.end_s, s.span_id)):
+        tid = track_ids.setdefault(span.track, len(track_ids))
+        args: Dict[str, object] = {str(k): v for k, v in span.attributes.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["ok"] = span.ok
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.track,
+                "ph": "X",
+                "ts": round((span.start_s - origin) * 1e6, 3),
+                "dur": round(span.duration_s * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    metadata: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track, tid in sorted(track_ids.items(), key=lambda item: item[1]):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: Sequence[Span], path: PathLike, process_name: str = "socrates"
+) -> int:
+    """Write the Chrome trace; returns the number of span events."""
+    document = chrome_trace(spans, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return len(spans)
+
+
+# -- JSONL event stream -------------------------------------------------------
+
+
+def events_jsonl(
+    spans: Sequence[Span] = (),
+    metrics: Optional[MetricsRegistry] = None,
+    audit: Optional[AdaptationAuditLog] = None,
+) -> Iterator[str]:
+    """Yield one JSON line per span / metric / audit entry."""
+    origin = _origin(spans)
+    for span in sorted(spans, key=lambda s: (s.start_s, s.span_id)):
+        record = span.as_dict()
+        record["start_s"] = span.start_s - origin
+        record["end_s"] = span.end_s - origin
+        yield json.dumps({"type": "span", **record}, sort_keys=True)
+    if metrics is not None:
+        for instrument in metrics.instruments():
+            yield json.dumps(
+                {"type": "metric", **instrument.as_dict()}, sort_keys=True  # type: ignore[attr-defined]
+            )
+    if audit is not None:
+        for entry in audit.entries:
+            yield json.dumps({"type": "adaptation", **entry.as_dict()}, sort_keys=True)
+
+
+def write_jsonl(
+    path: PathLike,
+    spans: Sequence[Span] = (),
+    metrics: Optional[MetricsRegistry] = None,
+    audit: Optional[AdaptationAuditLog] = None,
+) -> int:
+    """Write the JSONL event stream; returns the number of lines."""
+    count = 0
+    with open(path, "w") as handle:
+        for line in events_jsonl(spans, metrics, audit):
+            handle.write(line + "\n")
+            count += 1
+    return count
+
+
+def write_audit_jsonl(audit: AdaptationAuditLog, path: PathLike) -> int:
+    """Write only the adaptation audit entries as JSONL."""
+    with open(path, "w") as handle:
+        for entry in audit.entries:
+            handle.write(
+                json.dumps({"type": "adaptation", **entry.as_dict()}, sort_keys=True)
+                + "\n"
+            )
+    return len(audit)
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for instrument in metrics.instruments():
+        name = instrument.name  # type: ignore[attr-defined]
+        if instrument.help:  # type: ignore[attr-defined]
+            lines.append(f"# HELP {name} {instrument.help}")  # type: ignore[attr-defined]
+        if isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = instrument.cumulative_counts()
+            for boundary, count in zip(instrument.boundaries, cumulative):
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(boundary)}"}} {count}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(f"{name}_sum {_format_value(instrument.total)}")
+            lines.append(f"{name}_count {instrument.count}")
+        elif isinstance(instrument, (Counter, Gauge)):
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            lines.append(f"{name} {_format_value(instrument.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(metrics: MetricsRegistry, path: PathLike) -> int:
+    """Write the Prometheus dump; returns the number of instruments."""
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(metrics))
+    return len(metrics)

@@ -1,0 +1,289 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+This generalizes the ad-hoc counters that existed before `repro.obs`
+(the evaluation engine's cache counters, the mARGOt monitors'
+windowed statistics) into three Prometheus-style instrument types:
+
+* :class:`Counter` — monotonically increasing totals;
+* :class:`Gauge` — last-write-wins point-in-time values;
+* :class:`Histogram` — fixed-boundary bucketed distributions with
+  cumulative counts, plus sum and count.
+
+Instruments are created through a :class:`MetricsRegistry` and are
+identity-stable: asking twice for the same name returns the same
+object, so hot paths can cache the handle once.  The
+:class:`NullMetricsRegistry` hands out shared no-op instruments, which
+keeps disabled instrumentation at a single dynamic dispatch per call.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default boundaries for duration histograms (seconds).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    60.0,
+)
+
+#: Default boundaries for batch-size histograms (points per call).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """A fixed-boundary bucketed distribution.
+
+    ``boundaries`` are the inclusive upper edges of the finite buckets
+    (Prometheus ``le`` semantics); one implicit +Inf bucket catches the
+    rest.  Boundaries are fixed at creation so two histograms with the
+    same name always aggregate compatibly.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "boundaries", "bucket_counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        help: str = "",
+    ) -> None:
+        edges = tuple(float(b) for b in boundaries)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.boundaries = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative per-bucket counts, Prometheus-style (last = count)."""
+        out: List[int] = []
+        running = 0
+        for bucket in self.bucket_counts:
+            running += bucket
+            out.append(running)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "boundaries": list(self.boundaries),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Creates and owns named instruments (get-or-create semantics)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif getattr(instrument, "kind", None) != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{getattr(instrument, 'kind', '?')}, not {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, boundaries, help), "histogram")
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str) -> Optional[object]:
+        return self._instruments.get(name)
+
+    def instruments(self) -> List[object]:
+        """All instruments, sorted by name (deterministic export order)."""
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            instrument.name: instrument.as_dict()  # type: ignore[attr-defined]
+            for instrument in self.instruments()
+        }
+
+    # -- absorbing legacy counters --------------------------------------------
+
+    def absorb_engine_counters(self, counters) -> None:
+        """Mirror an :class:`~repro.engine.EngineCounters` snapshot.
+
+        Engine counters are monotonic totals, so they land as gauges
+        set to the latest snapshot (re-absorbing is idempotent).
+        """
+        from dataclasses import asdict
+
+        for field_name, value in asdict(counters).items():
+            self.gauge(
+                f"socrates_engine_{field_name}",
+                help=f"engine counter {field_name} (latest snapshot)",
+            ).set(value)
+
+    def absorb_monitor(self, metric: str, monitor) -> None:
+        """Mirror one mARGOt monitor's windowed statistics as gauges."""
+        stats = monitor.summary()
+        for stat_name, value in stats.items():
+            self.gauge(
+                f"socrates_monitor_{metric}_{stat_name}",
+                help=f"mARGOt {metric} monitor {stat_name} over its window",
+            ).set(value)
+
+    def absorb_monitors(self, monitors: Mapping[str, object]) -> None:
+        for metric, monitor in monitors.items():
+            self.absorb_monitor(metric, monitor)
+
+
+class _NullInstrument:
+    """Shared sink for all disabled instruments."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    kind = "null"
+    value = 0.0
+    total = 0.0
+    count = 0
+    boundaries: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": "null", "name": "null"}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments ignore every observation."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, help: str = "") -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name, boundaries=DEFAULT_TIME_BUCKETS, help=""):  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def absorb_engine_counters(self, counters) -> None:
+        return None
+
+    def absorb_monitor(self, metric: str, monitor) -> None:
+        return None
+
+    def absorb_monitors(self, monitors) -> None:
+        return None
+
+
+#: Process-wide disabled registry.
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,198 @@
+"""Validators for the exported observability artifacts.
+
+Used by ``socrates obs validate`` and the CI observability smoke job.
+Each validator raises :class:`ValueError` with a precise message on
+the first problem found, and returns a small summary dict on success.
+
+* :func:`validate_chrome_trace` — the document parses, every span
+  event carries the required ``trace_event`` fields, and spans on the
+  same (pid, tid) are properly nested (a child never outlives its
+  enclosing span; no partial overlaps).
+* :func:`validate_prometheus_text` — every line matches the text
+  exposition grammar (``# HELP`` / ``# TYPE`` comments, bare or
+  labelled sample lines with a float value) and histogram bucket
+  series are cumulative.
+* :func:`validate_events_jsonl` — every line is a JSON object with a
+  known ``type``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+PathLike = Union[str, Path]
+
+_REQUIRED_SPAN_FIELDS = ("name", "ph", "ts", "pid", "tid")
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABELS = r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\}"
+_VALUE = r"[-+]?(\d+(\.\d+)?([eE][-+]?\d+)?|\.\d+([eE][-+]?\d+)?|Inf|NaN)"
+_SAMPLE_LINE = re.compile(rf"^{_METRIC_NAME}({_LABELS})? {_VALUE}( \d+)?$")
+_COMMENT_LINE = re.compile(rf"^# (HELP|TYPE) {_METRIC_NAME}( .*)?$")
+
+#: Tolerance when checking span containment, in microseconds.
+_NESTING_SLACK_US = 0.5
+
+
+def _read_text(path: PathLike) -> str:
+    try:
+        return Path(path).read_text()
+    except OSError as error:
+        raise ValueError(f"{path}: cannot read artifact ({error})") from None
+
+
+def _open_for_read(path: PathLike):
+    try:
+        return open(path)
+    except OSError as error:
+        raise ValueError(f"{path}: cannot read artifact ({error})") from None
+
+
+def validate_chrome_trace(path: PathLike) -> Dict[str, object]:
+    """Validate a Chrome ``trace_event`` JSON file; raise on problems."""
+    try:
+        document = json.loads(_read_text(path))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from None
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError(f"{path}: missing top-level 'traceEvents' array")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: 'traceEvents' is not a list")
+    spans: List[dict] = []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}: event {index} is not an object")
+        phase = event.get("ph")
+        if phase == "M":
+            continue  # metadata events carry no timing
+        for fieldname in _REQUIRED_SPAN_FIELDS:
+            if fieldname not in event:
+                raise ValueError(
+                    f"{path}: event {index} ({event.get('name', '?')!r}) "
+                    f"lacks required field {fieldname!r}"
+                )
+        if phase != "X":
+            raise ValueError(
+                f"{path}: event {index} has unsupported phase {phase!r} "
+                "(expected complete events 'X')"
+            )
+        if "dur" not in event:
+            raise ValueError(f"{path}: complete event {index} lacks 'dur'")
+        for numeric in ("ts", "dur"):
+            value = event[numeric]
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"{path}: event {index} field {numeric!r} is not a "
+                    f"non-negative number (got {value!r})"
+                )
+        spans.append(event)
+    if not spans:
+        raise ValueError(f"{path}: trace contains no span events")
+    _check_nesting(spans, str(path))
+    return {"events": len(events), "spans": len(spans)}
+
+
+def _check_nesting(spans: List[dict], label: str) -> None:
+    by_track: Dict[Tuple[object, object], List[dict]] = {}
+    for span in spans:
+        by_track.setdefault((span["pid"], span["tid"]), []).append(span)
+    for (pid, tid), members in by_track.items():
+        members.sort(key=lambda e: (e["ts"], -(e["ts"] + e["dur"])))
+        stack: List[Tuple[float, float, str]] = []  # (start, end, name)
+        for event in members:
+            start = float(event["ts"])
+            end = start + float(event["dur"])
+            while stack and start >= stack[-1][1] - _NESTING_SLACK_US:
+                stack.pop()
+            if stack and end > stack[-1][1] + _NESTING_SLACK_US:
+                raise ValueError(
+                    f"{label}: span {event['name']!r} "
+                    f"[{start:.1f}us, {end:.1f}us) on tid {tid} partially "
+                    f"overlaps enclosing span {stack[-1][2]!r} "
+                    f"ending at {stack[-1][1]:.1f}us — spans must nest"
+                )
+            stack.append((start, end, str(event["name"])))
+
+
+def validate_prometheus_text(path: PathLike) -> Dict[str, object]:
+    """Validate a Prometheus text dump; raise on grammar violations."""
+    text = _read_text(path)
+    samples = 0
+    histogram_cumulative: Dict[str, int] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if not _COMMENT_LINE.match(line):
+                raise ValueError(
+                    f"{path}:{number}: malformed comment line {line!r} "
+                    "(expected '# HELP name ...' or '# TYPE name ...')"
+                )
+            continue
+        if not _SAMPLE_LINE.match(line):
+            raise ValueError(
+                f"{path}:{number}: malformed sample line {line!r}"
+            )
+        samples += 1
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        if name.endswith("_bucket"):
+            count = int(float(line.rsplit(" ", 1)[1]))
+            base = name[: -len("_bucket")]
+            previous = histogram_cumulative.get(base, 0)
+            if count < previous:
+                raise ValueError(
+                    f"{path}:{number}: histogram {base!r} bucket counts "
+                    f"are not cumulative ({count} < {previous})"
+                )
+            histogram_cumulative[base] = count
+    if samples == 0:
+        raise ValueError(f"{path}: no metric samples found")
+    return {"samples": samples}
+
+
+def validate_events_jsonl(path: PathLike) -> Dict[str, object]:
+    """Validate a JSONL event stream; raise on malformed lines."""
+    known = {"span", "metric", "adaptation"}
+    counts: Dict[str, int] = {}
+    with _open_for_read(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: not valid JSON ({error})"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{number}: line is not a JSON object")
+            kind = record.get("type")
+            if kind not in known:
+                raise ValueError(
+                    f"{path}:{number}: unknown event type {kind!r} "
+                    f"(expected one of {sorted(known)})"
+                )
+            counts[kind] = counts.get(kind, 0) + 1
+    if not counts:
+        raise ValueError(f"{path}: stream contains no events")
+    return counts
+
+
+def validate_file(path: PathLike) -> Dict[str, object]:
+    """Dispatch on file suffix: .json → Chrome trace, .jsonl → event
+    stream, .prom/.txt → Prometheus text."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".jsonl":
+        return validate_events_jsonl(path)
+    if suffix == ".json":
+        return validate_chrome_trace(path)
+    if suffix in (".prom", ".txt"):
+        return validate_prometheus_text(path)
+    raise ValueError(
+        f"{path}: cannot infer artifact kind from suffix {suffix!r} "
+        "(expected .json, .jsonl, .prom or .txt)"
+    )

@@ -126,6 +126,69 @@ class TestMonitors:
         assert energy.last() == 12.5
 
 
+class TestMonitorEdgeCases:
+    def test_window_size_one_stddev_zero(self):
+        monitor = Monitor("m", window_size=1)
+        monitor.push(3.0)
+        monitor.push(7.0)  # evicts 3.0; a single sample has no spread
+        assert len(monitor) == 1
+        assert monitor.stddev() == 0.0
+        assert monitor.average() == 7.0
+        assert monitor.min() == monitor.max() == 7.0
+
+    def test_eviction_statistics_follow_window(self):
+        monitor = Monitor("m", window_size=2)
+        for value in (100.0, 1.0, 2.0, 3.0):
+            monitor.push(value)
+        # only (2.0, 3.0) remain: the 100.0 outlier left the window
+        assert monitor.average() == pytest.approx(2.5)
+        assert monitor.stddev() == pytest.approx(0.5 ** 0.5)
+        assert monitor.min() == 2.0 and monitor.max() == 3.0
+
+    def test_summary_empty(self):
+        assert Monitor("m").summary() == {"count": 0.0}
+
+    def test_summary_full(self):
+        monitor = Monitor("m", window_size=4)
+        for value in (2.0, 4.0, 6.0):
+            monitor.push(value)
+        summary = monitor.summary()
+        assert summary["count"] == 3.0
+        assert summary["last"] == 6.0
+        assert summary["average"] == 4.0
+        assert summary["stddev"] == pytest.approx(2.0)
+        assert summary["min"] == 2.0
+        assert summary["max"] == 6.0
+
+    def test_stop_twice_raises(self):
+        monitor = TimeMonitor()
+        monitor.start(0.0)
+        monitor.stop(1.0)
+        with pytest.raises(MonitorError):
+            monitor.stop(2.0)
+
+    def test_time_backwards_raises_and_resets(self):
+        monitor = TimeMonitor()
+        monitor.start(5.0)
+        with pytest.raises(MonitorError):
+            monitor.stop(4.0)
+        # the failed region must not leave the monitor 'started'
+        monitor.start(6.0)
+        assert monitor.stop(7.0) == pytest.approx(1.0)
+
+    def test_throughput_zero_length_region_raises(self):
+        monitor = ThroughputMonitor()
+        monitor.start(1.0)
+        with pytest.raises(MonitorError):
+            monitor.stop(1.0)
+
+    def test_throughput_double_start_raises(self):
+        monitor = ThroughputMonitor()
+        monitor.start(0.0)
+        with pytest.raises(MonitorError):
+            monitor.start(0.5)
+
+
 class TestGoals:
     @pytest.mark.parametrize(
         "comparison,value,observed,expected",

@@ -58,6 +58,36 @@ class TestTraceCsv:
         trace_to_csv([], path)
         assert trace_from_csv(path) == []
 
+    def test_truncated_row_names_row_and_column(self, trace, tmp_path):
+        path = tmp_path / "truncated.csv"
+        trace_to_csv(trace[:3], path)
+        lines = path.read_text().splitlines()
+        # drop the trailing columns of the second data row
+        lines[2] = ",".join(lines[2].split(",")[:4])
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"trace row 2 is truncated.*'binding'"):
+            trace_from_csv(path)
+
+    def test_bad_numeric_cell_names_row_column_and_value(self, trace, tmp_path):
+        path = tmp_path / "garbled.csv"
+        trace_to_csv(trace[:3], path)
+        lines = path.read_text().splitlines()
+        cells = lines[3].split(",")
+        cells[3] = "many"  # the 'threads' column of data row 3
+        lines[3] = ",".join(cells)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(
+            ValueError, match=r"trace row 3, column 'threads'.*'many' as int"
+        ):
+            trace_from_csv(path)
+
+    def test_load_trace_alias(self, trace, tmp_path):
+        from repro.core.trace import load_trace
+
+        path = tmp_path / "trace.csv"
+        trace_to_csv(trace, path)
+        assert load_trace(path) == trace_from_csv(path)
+
 
 class TestPhaseSummary:
     def test_summaries_split_by_phase(self, trace):

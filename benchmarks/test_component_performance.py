@@ -6,12 +6,20 @@ compiler + machine model, the AS-RTM decision, and Bayesian-network
 inference.  They guard against performance regressions that would make
 the experiment harnesses (full-factorial DSE = tens of thousands of
 model evaluations) impractically slow.
+
+Every benchmarked callable is wrapped in a
+:class:`repro.bench.SpanTimer` span, so these tier-2 numbers and the
+``socrates bench`` scenario baselines come from the same measurement
+code path (the obs tracer) rather than ad-hoc ``time.perf_counter()``
+pairs; each test cross-checks that the span record saw every
+pytest-benchmark round.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.bench import SpanTimer
 from repro.cir import parse, to_source
 from repro.gcc.compiler import Compiler
 from repro.gcc.flags import FlagConfiguration, OptLevel, standard_levels
@@ -35,31 +43,44 @@ def source_2mm():
     return load("2mm").source
 
 
-def test_perf_parser(benchmark, source_2mm):
-    unit = benchmark(parse, source_2mm)
+@pytest.fixture()
+def timer():
+    """A fresh span timer per test; asserts it actually recorded spans."""
+    span_timer = SpanTimer()
+    yield span_timer
+    assert span_timer.tracer.spans, "benchmark bypassed the span timer"
+
+
+def test_perf_parser(benchmark, timer, source_2mm):
+    unit = benchmark(timer.wrap("cir.parse", parse), source_2mm)
     assert unit.has_function("kernel_2mm")
+    assert timer.count("cir.parse") >= 1
+    assert timer.total_s("cir.parse") > 0.0
 
 
-def test_perf_printer(benchmark, source_2mm):
+def test_perf_printer(benchmark, timer, source_2mm):
     unit = parse(source_2mm)
-    text = benchmark(to_source, unit)
+    text = benchmark(timer.wrap("cir.to_source", to_source), unit)
     assert "kernel_2mm" in text
+    assert timer.count("cir.to_source") >= 1
 
 
-def test_perf_workload_profile(benchmark):
+def test_perf_workload_profile(benchmark, timer):
     app = load("2mm")
-    profile = benchmark(profile_kernel, app)
+    profile = benchmark(timer.wrap("workload.profile", profile_kernel), app)
     assert profile.flops > 0
+    assert timer.count("workload.profile") >= 1
 
 
-def test_perf_weave(benchmark):
+def test_perf_weave(benchmark, timer):
     app = load("mvt")
     configs = standard_levels()
-    report, _ = benchmark(weave_benchmark, app, configs)
+    report, _ = benchmark(timer.wrap("lara.weave", weave_benchmark), app, configs)
     assert report.weaved_loc > report.original_loc
+    assert timer.count("lara.weave") >= 1
 
 
-def test_perf_compile(benchmark):
+def test_perf_compile(benchmark, timer):
     profile = profile_kernel(load("2mm"))
     compiler = Compiler()
     config = FlagConfiguration(OptLevel.O3)
@@ -68,20 +89,24 @@ def test_perf_compile(benchmark):
         compiler._cache.clear()
         return compiler.compile(profile, config)
 
-    kernel = benchmark(compile_uncached)
+    kernel = benchmark(timer.wrap("gcc.compile", compile_uncached))
     assert kernel.total_cycles > 0
+    assert timer.count("gcc.compile") >= 1
 
 
-def test_perf_machine_evaluate(benchmark, machine):
+def test_perf_machine_evaluate(benchmark, timer, machine):
     compiled = Compiler().compile(profile_kernel(load("2mm")), FlagConfiguration(OptLevel.O2))
     omp = OpenMPRuntime(machine)
     executor = MachineExecutor(machine)
     placement = omp.place(16, BindingPolicy.CLOSE)
-    result = benchmark(executor.evaluate, compiled, placement)
+    result = benchmark(
+        timer.wrap("machine.evaluate", executor.evaluate), compiled, placement
+    )
     assert result.time_s > 0
+    assert timer.count("machine.evaluate") >= 1
 
 
-def test_perf_asrtm_update(benchmark, machine):
+def test_perf_asrtm_update(benchmark, timer, machine):
     """One mARGOt decision over a 512-point knowledge base — the cost
     the weaved update() call pays per kernel invocation."""
     from repro.dse.explorer import DesignSpace, DesignSpaceExplorer
@@ -92,11 +117,12 @@ def test_perf_asrtm_update(benchmark, machine):
     knowledge = explorer.explore(profile_kernel(load("2mm")), space).knowledge
     asrtm = ApplicationRuntimeManager(knowledge)
     asrtm.add_state(OptimizationState("perf", rank=minimize_time()))
-    point = benchmark(asrtm.update)
+    point = benchmark(timer.wrap("asrtm.update", asrtm.update))
     assert point.metric("time").mean > 0
+    assert timer.count("asrtm.update") >= 1
 
 
-def test_perf_bn_posterior(benchmark):
+def test_perf_bn_posterior(benchmark, timer):
     """One COBAYN posterior over the 128-combo space."""
     import numpy as np
 
@@ -122,5 +148,6 @@ def test_perf_bn_posterior(benchmark):
     evidence = {f"ft{i}": 1 for i in range(4)}
     query = flag_assignment(cobayn_space()[77])
 
-    probability = benchmark(network.posterior, query, evidence)
+    probability = benchmark(timer.wrap("bn.posterior", network.posterior), query, evidence)
     assert 0.0 <= probability <= 1.0
+    assert timer.count("bn.posterior") >= 1

@@ -1,0 +1,136 @@
+"""Schema-versioned benchmark baselines: ``BENCH_<scenario>.json``.
+
+A baseline is the committed performance record of one scenario —
+robust statistics (median + MAD) of the wall time and of every span
+name's per-repeat total, plus the deterministic workload fingerprint.
+Every future PR answers to it: ``socrates bench gate`` re-runs the
+scenario and fails when a stage regresses beyond a MAD-scaled
+threshold.
+
+The file format is versioned (``"schema": "socrates-bench/1"``) and
+:func:`load_baseline` rejects anything it does not understand with a
+precise error, so a schema bump can never be silently misread.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.bench.scenarios import ScenarioResult
+from repro.bench.stats import RobustStats
+
+PathLike = Union[str, Path]
+
+#: Current baseline schema identifier.
+SCHEMA = "socrates-bench/1"
+
+
+def baseline_filename(scenario: str) -> str:
+    return f"BENCH_{scenario}.json"
+
+
+@dataclass(frozen=True)
+class StageBaseline:
+    """One span name's committed cost."""
+
+    count: int
+    total_s: RobustStats
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"count": self.count, "total_s": self.total_s.as_dict()}
+
+
+@dataclass(frozen=True)
+class BenchBaseline:
+    """The committed performance record of one scenario."""
+
+    scenario: str
+    repeats: int
+    wall_s: RobustStats
+    stages: Dict[str, StageBaseline]
+    fingerprint: Dict[str, object]
+    peak_rss_kb: int
+
+    @classmethod
+    def from_result(cls, result: ScenarioResult) -> "BenchBaseline":
+        stages = {
+            name: StageBaseline(
+                count=result.span_counts.get(name, 0),
+                total_s=RobustStats.from_samples(samples),
+            )
+            for name, samples in result.span_totals.items()
+        }
+        return cls(
+            scenario=result.scenario,
+            repeats=result.repeats,
+            wall_s=RobustStats.from_samples(result.wall_s),
+            stages=stages,
+            fingerprint=dict(result.fingerprint),
+            peak_rss_kb=result.peak_rss_kb,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "scenario": self.scenario,
+            "repeats": self.repeats,
+            "wall_s": self.wall_s.as_dict(),
+            "stages": {
+                name: stage.as_dict() for name, stage in sorted(self.stages.items())
+            },
+            "fingerprint": dict(self.fingerprint),
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+
+def save_baseline(baseline: BenchBaseline, path: PathLike) -> Path:
+    """Write the baseline as stable, human-diffable JSON."""
+    target = Path(path)
+    with open(target, "w") as handle:
+        json.dump(baseline.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def load_baseline(path: PathLike) -> BenchBaseline:
+    """Read and validate a baseline file; raise ValueError on problems."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise ValueError(f"{path}: cannot read baseline ({error})") from None
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from None
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: baseline is not a JSON object")
+    schema = document.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported baseline schema {schema!r} (expected {SCHEMA!r})"
+        )
+    for required in ("scenario", "repeats", "wall_s", "stages", "fingerprint"):
+        if required not in document:
+            raise ValueError(f"{path}: baseline lacks required field {required!r}")
+    stages_raw = document["stages"]
+    if not isinstance(stages_raw, dict):
+        raise ValueError(f"{path}: 'stages' is not an object")
+    try:
+        stages = {
+            name: StageBaseline(
+                count=int(record["count"]),
+                total_s=RobustStats.from_dict(record["total_s"]),
+            )
+            for name, record in stages_raw.items()
+        }
+        return BenchBaseline(
+            scenario=str(document["scenario"]),
+            repeats=int(document["repeats"]),
+            wall_s=RobustStats.from_dict(document["wall_s"]),
+            stages=stages,
+            fingerprint=dict(document["fingerprint"]),
+            peak_rss_kb=int(document.get("peak_rss_kb", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"{path}: malformed baseline ({error})") from None

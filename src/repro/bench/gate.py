@@ -1,0 +1,247 @@
+"""The regression gate: fresh run vs. committed baseline.
+
+``socrates bench gate`` re-runs a scenario and compares it against the
+committed ``BENCH_<scenario>.json``:
+
+* **wall time** and **every span name's total** are compared median
+  against median; a value regresses when it exceeds
+  ``base.median + max(threshold * base.median, mad_k * base.mad,
+  min_delta_s)`` — the relative threshold absorbs machine-to-machine
+  speed differences, the MAD term absorbs the scenario's own measured
+  jitter, and the absolute floor keeps microsecond-level span names
+  from tripping on scheduling noise;
+* the **workload fingerprint** (deterministic counters: points
+  evaluated, cache misses, knowledge sizes) must match exactly — a
+  mismatch means the PR changed how much work the pipeline does, which
+  no timing threshold should absorb silently;
+* the wall-time delta is **attributed** via span-level trace diffing
+  (:mod:`repro.obs.diff`): the verdict names the offending span, and
+  the report embeds the full per-span-name diff sorted by |delta|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.baseline import BenchBaseline
+from repro.bench.scenarios import ScenarioResult
+from repro.bench.stats import RobustStats, median
+from repro.obs.diff import SpanAggregate, TraceDiff, diff_profiles, format_diff
+
+#: Default relative regression threshold (fraction of the baseline median).
+DEFAULT_THRESHOLD = 0.5
+#: Default MAD multiplier.
+DEFAULT_MAD_K = 6.0
+#: Default absolute floor in seconds: deltas below this never regress.
+DEFAULT_MIN_DELTA_S = 0.05
+
+
+@dataclass(frozen=True)
+class StageVerdict:
+    """One compared quantity (wall time or one span name)."""
+
+    name: str
+    baseline_s: float
+    fresh_s: float
+    limit_s: float
+    regressed: bool
+    status: str = "changed"  # "changed" | "added" | "removed"
+
+    @property
+    def delta_s(self) -> float:
+        return self.fresh_s - self.baseline_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "baseline_s": self.baseline_s,
+            "fresh_s": self.fresh_s,
+            "limit_s": self.limit_s,
+            "delta_s": self.delta_s,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class GateReport:
+    """The full verdict of one scenario comparison."""
+
+    scenario: str
+    wall: StageVerdict
+    stages: List[StageVerdict]
+    fingerprint_ok: bool
+    fingerprint_diffs: Dict[str, object] = field(default_factory=dict)
+    diff: Optional[TraceDiff] = None
+
+    @property
+    def offenders(self) -> List[StageVerdict]:
+        """Regressed stages, largest delta first."""
+        return sorted(
+            [verdict for verdict in self.stages if verdict.regressed],
+            key=lambda verdict: -verdict.delta_s,
+        )
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.fingerprint_ok
+            and not self.wall.regressed
+            and not any(verdict.regressed for verdict in self.stages)
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "wall": self.wall.as_dict(),
+            "stages": [verdict.as_dict() for verdict in self.stages],
+            "fingerprint_ok": self.fingerprint_ok,
+            "fingerprint_diffs": dict(self.fingerprint_diffs),
+            "offenders": [verdict.name for verdict in self.offenders],
+        }
+
+    def format(self, diff_limit: int = 15) -> str:
+        lines = [f"bench gate: scenario '{self.scenario}'"]
+        wall = self.wall
+        lines.append(
+            f"  wall {wall.baseline_s:.4f}s -> {wall.fresh_s:.4f}s "
+            f"(limit {wall.limit_s:.4f}s) "
+            f"{'REGRESSED' if wall.regressed else 'ok'}"
+        )
+        if not self.fingerprint_ok:
+            lines.append("  workload fingerprint DRIFTED:")
+            for key, pair in sorted(self.fingerprint_diffs.items()):
+                lines.append(f"    {key}: {pair[0]!r} -> {pair[1]!r}")  # type: ignore[index]
+        offenders = self.offenders
+        if offenders:
+            worst = offenders[0]
+            lines.append(
+                f"  REGRESSION attributed to span '{worst.name}' "
+                f"({worst.baseline_s:.4f}s -> {worst.fresh_s:.4f}s, "
+                f"+{worst.delta_s:.4f}s over limit {worst.limit_s:.4f}s)"
+            )
+            for verdict in offenders[1:]:
+                lines.append(
+                    f"    also regressed: '{verdict.name}' "
+                    f"(+{verdict.delta_s:.4f}s)"
+                )
+        elif self.fingerprint_ok and not wall.regressed:
+            lines.append("  all spans within thresholds")
+        if self.diff is not None:
+            lines.append("  trace diff (baseline -> fresh, |delta| desc):")
+            lines.extend(
+                "    " + line
+                for line in format_diff(
+                    self.diff,
+                    limit=diff_limit,
+                    label_a="base",
+                    label_b="new",
+                ).splitlines()
+            )
+        return "\n".join(lines)
+
+
+def _limit(
+    stats: RobustStats, threshold: float, mad_k: float, min_delta_s: float
+) -> float:
+    return stats.median + max(
+        threshold * stats.median, mad_k * stats.mad, min_delta_s
+    )
+
+
+def compare_result(
+    baseline: BenchBaseline,
+    result: ScenarioResult,
+    threshold: float = DEFAULT_THRESHOLD,
+    mad_k: float = DEFAULT_MAD_K,
+    min_delta_s: float = DEFAULT_MIN_DELTA_S,
+) -> GateReport:
+    """Compare a fresh :class:`ScenarioResult` against its baseline."""
+    if baseline.scenario != result.scenario:
+        raise ValueError(
+            f"baseline is for scenario {baseline.scenario!r}, "
+            f"fresh run is {result.scenario!r}"
+        )
+    fresh_wall = median(result.wall_s)
+    wall_limit = _limit(baseline.wall_s, threshold, mad_k, min_delta_s)
+    wall = StageVerdict(
+        name="wall",
+        baseline_s=baseline.wall_s.median,
+        fresh_s=fresh_wall,
+        limit_s=wall_limit,
+        regressed=fresh_wall > wall_limit,
+    )
+
+    # the root bench span IS the wall time; a stage verdict for it
+    # would only duplicate the wall verdict and steal the attribution
+    root = f"bench:{baseline.scenario}"
+    stages: List[StageVerdict] = []
+    fresh_names = {name for name in result.span_totals if name != root}
+    for name, stage in sorted(baseline.stages.items()):
+        if name == root:
+            continue
+        if name not in fresh_names:
+            stages.append(
+                StageVerdict(
+                    name=name,
+                    baseline_s=stage.total_s.median,
+                    fresh_s=0.0,
+                    limit_s=_limit(stage.total_s, threshold, mad_k, min_delta_s),
+                    regressed=False,
+                    status="removed",
+                )
+            )
+            continue
+        fresh = median(result.span_totals[name])
+        limit = _limit(stage.total_s, threshold, mad_k, min_delta_s)
+        stages.append(
+            StageVerdict(
+                name=name,
+                baseline_s=stage.total_s.median,
+                fresh_s=fresh,
+                limit_s=limit,
+                regressed=fresh > limit,
+            )
+        )
+    for name in sorted(fresh_names - set(baseline.stages)):
+        fresh = median(result.span_totals[name])
+        # a brand-new span name has no baseline spread to scale by:
+        # only the absolute floor applies
+        stages.append(
+            StageVerdict(
+                name=name,
+                baseline_s=0.0,
+                fresh_s=fresh,
+                limit_s=min_delta_s,
+                regressed=fresh > min_delta_s,
+                status="added",
+            )
+        )
+
+    fingerprint_diffs = {
+        key: (baseline.fingerprint.get(key), result.fingerprint.get(key))
+        for key in set(baseline.fingerprint) | set(result.fingerprint)
+        if baseline.fingerprint.get(key) != result.fingerprint.get(key)
+    }
+
+    baseline_profile = {
+        name: SpanAggregate(count=stage.count, total_s=stage.total_s.median)
+        for name, stage in baseline.stages.items()
+    }
+    fresh_profile = {
+        name: SpanAggregate(
+            count=result.span_counts.get(name, 0),
+            total_s=median(samples),
+        )
+        for name, samples in result.span_totals.items()
+    }
+    return GateReport(
+        scenario=result.scenario,
+        wall=wall,
+        stages=stages,
+        fingerprint_ok=not fingerprint_diffs,
+        fingerprint_diffs=fingerprint_diffs,
+        diff=diff_profiles(baseline_profile, fresh_profile),
+    )

@@ -9,7 +9,8 @@ Subcommands cover the whole reproduction workflow:
 ``weave``        weave a benchmark and print the adaptive source + metrics
 ``build``        run the full toolflow; optionally save the oplist/source
 ``trace``        run a runtime scenario from a JSON mARGOt configuration
-``obs``          export/validate traces, metrics dumps, adaptation audits
+``obs``          export/validate/diff traces, metrics dumps; live dashboard
+``bench``        performance observatory: baselines and the regression gate
 ``table1``       regenerate Table I
 ``fig3``         regenerate Figure 3 (ASCII boxplots)
 ``fig4``         regenerate Figure 4 (budget sweep table)
@@ -145,30 +146,45 @@ def cmd_weave(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
+    import json
+
+    json_mode = getattr(args, "json", False)
     obs = _make_obs(args)
     flow = _toolflow(args, obs=obs)
     app = _load_app(args.app)
-    print(f"Building adaptive {app.name}...")
+    if not json_mode:
+        print(f"Building adaptive {app.name}...")
     result = flow.build(app)
-    print("Custom flags (COBAYN):")
-    for index, config in enumerate(result.custom_flags, start=1):
-        print(f"  CF{index}: {config.label}")
-    print(
-        f"Knowledge base: {len(result.exploration.knowledge)} operating points "
-        f"({result.exploration.coverage:.0%} of the space)"
-    )
+    if not json_mode:
+        print("Custom flags (COBAYN):")
+        for index, config in enumerate(result.custom_flags, start=1):
+            print(f"  CF{index}: {config.label}")
+        print(
+            f"Knowledge base: {len(result.exploration.knowledge)} operating points "
+            f"({result.exploration.coverage:.0%} of the space)"
+        )
     if args.oplist:
         from repro.margot.oplist import save_knowledge
 
         save_knowledge(result.exploration.knowledge, args.oplist)
-        print(f"Wrote oplist to {args.oplist}")
+        if not json_mode:
+            print(f"Wrote oplist to {args.oplist}")
     if args.source_out:
         with open(args.source_out, "w") as handle:
             handle.write(result.adaptive_source)
-        print(f"Wrote adaptive source to {args.source_out}")
-    if args.stage_report:
-        import json
-
+        if not json_mode:
+            print(f"Wrote adaptive source to {args.source_out}")
+    if json_mode:
+        payload = {
+            "app": app.name,
+            "custom_flags": [config.label for config in result.custom_flags],
+            "knowledge_points": len(result.exploration.knowledge),
+            "coverage": result.exploration.coverage,
+        }
+        if args.stage_report:
+            payload["stage_report"] = result.stage_report()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.stage_report:
         print(json.dumps(result.stage_report(), indent=2))
     if obs is not None:
         _write_obs_artifacts(obs, args)
@@ -188,7 +204,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
         **result.stage_report(),
         "engine": flow.engine.stats(),
     }
-    print(json.dumps(payload, indent=2))
+    if getattr(args, "json", False):
+        # machine mode: one line, stable key order, no screen-scraping
+        print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    else:
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -409,6 +429,245 @@ def cmd_obs_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Span-level diff of two Chrome trace exports."""
+    import json
+
+    from repro.obs.diff import diff_chrome_traces, format_diff
+
+    diff = diff_chrome_traces(args.trace_a, args.trace_b)
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2))
+        return 0
+    print(f"trace diff: a={args.trace_a}  b={args.trace_b}")
+    print(
+        format_diff(
+            diff,
+            limit=args.limit,
+            hide_unchanged=not args.show_unchanged,
+        )
+    )
+    return 0
+
+
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    """Live ASCII dashboard over the metrics registry.
+
+    With ``--from FILE.prom`` the dashboard renders a Prometheus text
+    export (re-parsed every refresh, so a workload writing the file
+    periodically is watchable); without it, a bench scenario runs in a
+    background thread and the dashboard tracks it live.  ``--once``
+    prints a single frame and exits (CI logs, tests).
+    """
+    from repro.obs.dashboard import live_dashboard, render_dashboard
+
+    if args.from_file:
+        from pathlib import Path
+
+        from repro.obs.export import parse_prometheus_text
+
+        source = Path(args.from_file)
+
+        def frame(number: int) -> str:
+            registry = parse_prometheus_text(source.read_text())
+            return render_dashboard(
+                registry,
+                width=args.width,
+                frame=None if args.once else number,
+            )
+
+        if args.once:
+            print(frame(0))
+            return 0
+        try:
+            live_dashboard(frame, done=lambda: False, refresh_s=args.refresh)
+        except KeyboardInterrupt:
+            print()
+        return 0
+
+    import threading
+
+    from repro.bench.scenarios import get_scenario
+    from repro.obs import Observability
+
+    scenario = get_scenario(args.scenario)
+    obs = Observability()
+    if args.once:
+        scenario.runner(obs)
+        print(render_dashboard(obs.metrics, obs.tracer, obs.audit, width=args.width))
+        return 0
+    done = threading.Event()
+
+    def work() -> None:
+        try:
+            scenario.runner(obs)
+        finally:
+            done.set()
+
+    def frame(number: int) -> str:
+        return render_dashboard(
+            obs.metrics, obs.tracer, obs.audit, width=args.width, frame=number
+        )
+
+    worker = threading.Thread(target=work, daemon=True)
+    worker.start()
+    try:
+        live_dashboard(frame, done.is_set, refresh_s=args.refresh)
+    except KeyboardInterrupt:
+        print()
+    worker.join(timeout=5.0)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# bench: the performance observatory
+# ---------------------------------------------------------------------------
+
+
+def _bench_scenario_names(args: argparse.Namespace) -> List[str]:
+    """--scenario selections, or every quick scenario (--all: everything)."""
+    from repro.bench import all_scenarios, get_scenario, quick_scenarios
+
+    if args.scenario:
+        # validate up front so typos fail before any scenario runs
+        return [get_scenario(name).name for name in args.scenario]
+    if getattr(args, "all", False):
+        return [scenario.name for scenario in all_scenarios()]
+    return [scenario.name for scenario in quick_scenarios()]
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import all_scenarios
+
+    print(f"{'scenario':18s} {'tier':6s} description")
+    for scenario in all_scenarios():
+        tier = "quick" if scenario.quick else "full"
+        print(f"{scenario.name:18s} {tier:6s} {scenario.description}")
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Run scenarios and write ``BENCH_<scenario>.json`` baselines."""
+    from pathlib import Path
+
+    from repro.bench import (
+        BenchBaseline,
+        baseline_filename,
+        run_scenario,
+        save_baseline,
+    )
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in _bench_scenario_names(args):
+        result = run_scenario(name, repeats=args.repeats)
+        baseline = BenchBaseline.from_result(result)
+        path = save_baseline(baseline, out_dir / baseline_filename(name))
+        print(
+            f"{name}: wall median {baseline.wall_s.median:.4f}s "
+            f"(MAD {baseline.wall_s.mad:.4f}s, {result.repeats} repeats, "
+            f"{len(baseline.stages)} span names) -> {path}"
+        )
+        if args.trace_out_dir:
+            from repro.obs.export import write_chrome_trace
+
+            trace_dir = Path(args.trace_out_dir)
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            trace_path = trace_dir / f"TRACE_{name}.json"
+            count = write_chrome_trace(result.spans, trace_path)
+            print(f"{name}: wrote {trace_path} ({count} spans)")
+    return 0
+
+
+def _bench_compare_reports(args: argparse.Namespace):
+    """(GateReport, ScenarioResult) per selected scenario."""
+    from pathlib import Path
+
+    from repro.bench import (
+        baseline_filename,
+        compare_result,
+        load_baseline,
+        run_scenario,
+    )
+
+    baseline_dir = Path(args.baseline_dir)
+    pairs = []
+    for name in _bench_scenario_names(args):
+        baseline = load_baseline(baseline_dir / baseline_filename(name))
+        result = run_scenario(name, repeats=args.repeats)
+        report = compare_result(
+            baseline,
+            result,
+            threshold=args.threshold,
+            mad_k=args.mad_k,
+            min_delta_s=args.min_delta_s,
+        )
+        pairs.append((report, result))
+    return pairs
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Informational comparison against the baselines (always exit 0)."""
+    import json
+
+    pairs = _bench_compare_reports(args)
+    if args.json:
+        print(json.dumps([report.as_dict() for report, _ in pairs], indent=2))
+        return 0
+    for index, (report, _) in enumerate(pairs):
+        if index:
+            print()
+        print(report.format(diff_limit=args.limit))
+    return 0
+
+
+def cmd_bench_gate(args: argparse.Namespace) -> int:
+    """The regression gate: exit 3 when any scenario regresses."""
+    import json
+
+    pairs = _bench_compare_reports(args)
+    if args.out_dir:
+        from pathlib import Path
+
+        from repro.bench import BenchBaseline, baseline_filename, save_baseline
+        from repro.obs.diff import format_diff
+
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for report, result in pairs:
+            save_baseline(
+                BenchBaseline.from_result(result),
+                out_dir / baseline_filename(result.scenario),
+            )
+            with open(out_dir / f"GATE_{result.scenario}.json", "w") as handle:
+                json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            if report.diff is not None:
+                with open(out_dir / f"DIFF_{result.scenario}.txt", "w") as handle:
+                    handle.write(
+                        format_diff(
+                            report.diff,
+                            limit=0,
+                            label_a="base",
+                            label_b="new",
+                        )
+                        + "\n"
+                    )
+    failed = []
+    for index, (report, _) in enumerate(pairs):
+        if index:
+            print()
+        print(report.format(diff_limit=args.limit))
+        if not report.ok:
+            failed.append(report.scenario)
+    print()
+    if failed:
+        print(f"bench gate: FAIL ({', '.join(failed)} regressed)")
+        return 3
+    print(f"bench gate: OK ({len(pairs)} scenario(s) within thresholds)")
+    return 0
+
+
 def cmd_margot_header(args: argparse.Namespace) -> int:
     from repro.margot.config import load_config
 
@@ -602,6 +861,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         help="write the build's span tree as Chrome trace_event JSON",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of prose",
+    )
     p.set_defaults(func=cmd_build)
 
     p = subparsers.add_parser(
@@ -614,6 +878,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         help="evaluate design points on a process pool of this size",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="single-line JSON with stable key order (for scripts)",
     )
     p.set_defaults(func=cmd_stats)
 
@@ -680,6 +949,132 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("files", nargs="+", help="artifact files to validate")
     p.set_defaults(func=cmd_obs_validate)
+    p = obs_sub.add_parser(
+        "diff", help="span-level diff of two Chrome trace exports"
+    )
+    p.add_argument("trace_a", help="baseline trace (Chrome trace_event JSON)")
+    p.add_argument("trace_b", help="fresh trace to compare against it")
+    p.add_argument(
+        "--limit", type=int, default=20, help="rows to print (0 = all)"
+    )
+    p.add_argument(
+        "--show-unchanged",
+        action="store_true",
+        help="also list span names with identical totals",
+    )
+    p.add_argument("--json", action="store_true", help="emit the diff as JSON")
+    p.set_defaults(func=cmd_obs_diff)
+    p = obs_sub.add_parser(
+        "top", help="live ASCII dashboard of the metrics registry"
+    )
+    p.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="FILE.prom",
+        help="render a Prometheus text export instead of running a workload",
+    )
+    p.add_argument(
+        "--scenario",
+        default="adaptation_loop",
+        help="bench scenario to run live (ignored with --from)",
+    )
+    p.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    p.add_argument(
+        "--refresh", type=float, default=1.0, help="seconds between redraws"
+    )
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(func=cmd_obs_top)
+
+    p = subparsers.add_parser(
+        "bench",
+        help="performance observatory: scenario baselines and the regression gate",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    def _add_bench_selection(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--scenario",
+            action="append",
+            help="scenario name (repeatable; default: every quick scenario)",
+        )
+        p.add_argument(
+            "--all",
+            action="store_true",
+            help="select every scenario, including the slow ones",
+        )
+        p.add_argument(
+            "--repeats", type=int, default=3, help="repeats per scenario"
+        )
+
+    def _add_gate_knobs(p: argparse.ArgumentParser) -> None:
+        from repro.bench.gate import (
+            DEFAULT_MAD_K,
+            DEFAULT_MIN_DELTA_S,
+            DEFAULT_THRESHOLD,
+        )
+
+        p.add_argument(
+            "--baseline-dir",
+            default="benchmarks/baselines",
+            help="directory holding the committed BENCH_<scenario>.json files",
+        )
+        p.add_argument(
+            "--threshold",
+            type=float,
+            default=DEFAULT_THRESHOLD,
+            help="relative regression threshold (fraction of the baseline median)",
+        )
+        p.add_argument(
+            "--mad-k",
+            type=float,
+            default=DEFAULT_MAD_K,
+            help="MAD multiplier absorbing the scenario's measured jitter",
+        )
+        p.add_argument(
+            "--min-delta-s",
+            type=float,
+            default=DEFAULT_MIN_DELTA_S,
+            help="absolute floor in seconds below which deltas never regress",
+        )
+        p.add_argument(
+            "--limit", type=int, default=15, help="trace-diff rows to print"
+        )
+
+    p = bench_sub.add_parser("list", help="list the registered scenarios")
+    p.set_defaults(func=cmd_bench_list)
+    p = bench_sub.add_parser(
+        "run", help="run scenarios and write BENCH_<scenario>.json baselines"
+    )
+    _add_bench_selection(p)
+    p.add_argument(
+        "--out-dir", default=".", help="where to write the baseline files"
+    )
+    p.add_argument(
+        "--trace-out-dir",
+        help="also write each scenario's Chrome trace as TRACE_<scenario>.json",
+    )
+    p.set_defaults(func=cmd_bench_run)
+    p = bench_sub.add_parser(
+        "compare",
+        help="re-run scenarios and report against the baselines (always exit 0)",
+    )
+    _add_bench_selection(p)
+    _add_gate_knobs(p)
+    p.add_argument("--json", action="store_true", help="emit the reports as JSON")
+    p.set_defaults(func=cmd_bench_compare)
+    p = bench_sub.add_parser(
+        "gate",
+        help="the regression gate: exit 3 when any scenario regresses",
+    )
+    _add_bench_selection(p)
+    _add_gate_knobs(p)
+    p.add_argument(
+        "--out-dir",
+        help="write fresh BENCH/GATE/DIFF artifacts here (CI uploads)",
+    )
+    p.set_defaults(func=cmd_bench_gate)
 
     p = subparsers.add_parser(
         "margot-header", help="generate margot.h from a margot config"

@@ -196,7 +196,9 @@ class SocratesToolflow:
         applications (leave-one-out), so COBAYN never trains on the
         kernel it predicts for.
         """
-        recorder = TelemetryRecorder(self._engine, tracer=self._obs.tracer)
+        recorder = TelemetryRecorder(
+            self._engine, tracer=self._obs.tracer, metrics=self._obs.metrics
+        )
         with self._obs.tracer.span(f"build:{app.name}", app=app.name):
             with recorder.stage("characterize"):
                 features = self._characterize(app)

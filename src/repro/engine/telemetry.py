@@ -11,7 +11,10 @@ Since the introduction of :mod:`repro.obs`, the recorder is a thin
 adapter over the span tracer: each stage additionally opens a
 ``stage:<name>`` span on the tracer it was given (the shared no-op
 tracer by default), so stage events and the hierarchical trace always
-agree on stage boundaries.
+agree on stage boundaries.  Given a metrics registry, each stage also
+lands in the labelled ``socrates_stage_duration_seconds{stage=...}``
+histogram, which is what ``socrates obs top`` renders as the
+per-stage histogram panel.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Tracer
 
 
@@ -76,9 +80,15 @@ def stage_report_json(events: List[StageEvent], indent: int = 2) -> str:
 class TelemetryRecorder:
     """Collects :class:`StageEvent` records around an engine's stages."""
 
-    def __init__(self, engine, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        engine,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._engine = engine
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
         self._events: List[StageEvent] = []
 
     @property
@@ -99,6 +109,11 @@ class TelemetryRecorder:
         finally:
             wall = time.perf_counter() - start
             after = self._engine.counters
+            self._metrics.histogram(
+                "socrates_stage_duration_seconds",
+                help="wall time of each pipeline stage",
+                labels={"stage": name},
+            ).observe(wall)
             self._events.append(
                 StageEvent(
                     stage=name,

@@ -1,0 +1,234 @@
+"""Span-level trace diffing: attribute a wall-time delta to stages.
+
+Two traced runs of the same workload produce two span trees whose
+*shapes* agree (same span names, same counts — the pipeline is
+deterministic) but whose *durations* differ.  Aggregating each trace
+per span name and subtracting the aggregates answers "where did the
+time go": a regression in the engine hot path shows up as a large
+positive delta on ``engine.evaluate`` / ``backend.run_truths``, a new
+pipeline stage shows up as an *added* span name, a removed
+optimization as a *removed* one.
+
+Inputs can be live :class:`~repro.obs.tracing.Span` lists or exported
+Chrome ``trace_event`` JSON files (``socrates obs diff a.json
+b.json``), so baselines captured by the bench harness and ad-hoc
+``--trace-out`` artifacts diff interchangeably.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.obs.tracing import Span
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SpanAggregate:
+    """All spans of one name, folded: how many and how long in total."""
+
+    count: int
+    total_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class SpanDelta:
+    """One span name's change between trace *a* and trace *b*."""
+
+    name: str
+    status: str  # "added" | "removed" | "changed" | "unchanged"
+    count_a: int
+    count_b: int
+    total_a_s: float
+    total_b_s: float
+
+    @property
+    def delta_s(self) -> float:
+        return self.total_b_s - self.total_a_s
+
+    @property
+    def ratio(self) -> float:
+        """``total_b / total_a`` (inf for added, 0 for removed)."""
+        if self.total_a_s <= 0.0:
+            return float("inf") if self.total_b_s > 0.0 else 1.0
+        return self.total_b_s / self.total_a_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "count_a": self.count_a,
+            "count_b": self.count_b,
+            "total_a_s": self.total_a_s,
+            "total_b_s": self.total_b_s,
+            "delta_s": self.delta_s,
+        }
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """The full per-span-name comparison of two traces."""
+
+    deltas: List[SpanDelta]
+    total_a_s: float
+    total_b_s: float
+
+    @property
+    def total_delta_s(self) -> float:
+        return self.total_b_s - self.total_a_s
+
+    def by_status(self, status: str) -> List[SpanDelta]:
+        return [delta for delta in self.deltas if delta.status == status]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total_a_s": self.total_a_s,
+            "total_b_s": self.total_b_s,
+            "total_delta_s": self.total_delta_s,
+            "deltas": [delta.as_dict() for delta in self.deltas],
+        }
+
+
+# -- aggregation --------------------------------------------------------------
+
+
+def aggregate_spans(spans: Sequence[Span]) -> Dict[str, SpanAggregate]:
+    """Fold live spans into per-name (count, total duration)."""
+    counts: Dict[str, int] = {}
+    totals: Dict[str, float] = {}
+    for span in spans:
+        counts[span.name] = counts.get(span.name, 0) + 1
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration_s
+    return {
+        name: SpanAggregate(count=counts[name], total_s=totals[name])
+        for name in counts
+    }
+
+
+def profile_chrome_trace(path: PathLike) -> Dict[str, SpanAggregate]:
+    """Per-span-name aggregates of an exported Chrome trace file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise ValueError(f"{path}: cannot read trace ({error})") from None
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from None
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError(f"{path}: missing top-level 'traceEvents' array")
+    counts: Dict[str, int] = {}
+    totals: Dict[str, float] = {}
+    for event in document["traceEvents"]:
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        name = str(event.get("name", "?"))
+        counts[name] = counts.get(name, 0) + 1
+        totals[name] = totals.get(name, 0.0) + float(event.get("dur", 0.0)) / 1e6
+    return {
+        name: SpanAggregate(count=counts[name], total_s=totals[name])
+        for name in counts
+    }
+
+
+# -- diffing ------------------------------------------------------------------
+
+
+def diff_profiles(
+    profile_a: Mapping[str, SpanAggregate],
+    profile_b: Mapping[str, SpanAggregate],
+) -> TraceDiff:
+    """Compare two per-span-name aggregates; deltas sorted by
+    ``|delta_s|`` descending (name as tie-break, so output is stable)."""
+    deltas: List[SpanDelta] = []
+    for name in set(profile_a) | set(profile_b):
+        in_a = profile_a.get(name)
+        in_b = profile_b.get(name)
+        if in_a is None:
+            status = "added"
+        elif in_b is None:
+            status = "removed"
+        elif (
+            in_a.count != in_b.count or in_a.total_s != in_b.total_s
+        ):
+            status = "changed"
+        else:
+            status = "unchanged"
+        deltas.append(
+            SpanDelta(
+                name=name,
+                status=status,
+                count_a=in_a.count if in_a else 0,
+                count_b=in_b.count if in_b else 0,
+                total_a_s=in_a.total_s if in_a else 0.0,
+                total_b_s=in_b.total_s if in_b else 0.0,
+            )
+        )
+    deltas.sort(key=lambda delta: (-abs(delta.delta_s), delta.name))
+    return TraceDiff(
+        deltas=deltas,
+        total_a_s=sum(agg.total_s for agg in profile_a.values()),
+        total_b_s=sum(agg.total_s for agg in profile_b.values()),
+    )
+
+
+def diff_chrome_traces(path_a: PathLike, path_b: PathLike) -> TraceDiff:
+    """Diff two exported Chrome trace files (``socrates obs diff``)."""
+    return diff_profiles(profile_chrome_trace(path_a), profile_chrome_trace(path_b))
+
+
+def diff_span_lists(
+    spans_a: Sequence[Span], spans_b: Sequence[Span]
+) -> TraceDiff:
+    """Diff two live span lists (used by the bench gate in-process)."""
+    return diff_profiles(aggregate_spans(spans_a), aggregate_spans(spans_b))
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def format_diff(
+    diff: TraceDiff,
+    limit: int = 20,
+    hide_unchanged: bool = True,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> str:
+    """A fixed-width table of the largest deltas, biggest first."""
+    rows = [
+        delta
+        for delta in diff.deltas
+        if not (hide_unchanged and delta.status == "unchanged")
+    ]
+    shown = rows[: limit if limit > 0 else len(rows)]
+    name_width = max([len(delta.name) for delta in shown] + [len("span")])
+    lines = [
+        f"{'span':<{name_width}s} {'status':>9s} {'n(' + label_a + ')':>7s} "
+        f"{'n(' + label_b + ')':>7s} {'t(' + label_a + ')':>10s} "
+        f"{'t(' + label_b + ')':>10s} {'delta':>10s}"
+    ]
+    for delta in shown:
+        lines.append(
+            f"{delta.name:<{name_width}s} {delta.status:>9s} "
+            f"{delta.count_a:7d} {delta.count_b:7d} "
+            f"{delta.total_a_s:10.4f} {delta.total_b_s:10.4f} "
+            f"{delta.delta_s:+10.4f}"
+        )
+    hidden = len(rows) - len(shown)
+    if hidden > 0:
+        lines.append(f"... {hidden} more span name(s) below the cutoff")
+    unchanged = len(diff.deltas) - len(rows)
+    if hide_unchanged and unchanged > 0:
+        lines.append(f"({unchanged} span name(s) identical in both traces)")
+    lines.append(
+        f"{'TOTAL':<{name_width}s} {'':>9s} {'':>7s} {'':>7s} "
+        f"{diff.total_a_s:10.4f} {diff.total_b_s:10.4f} "
+        f"{diff.total_delta_s:+10.4f}"
+    )
+    return "\n".join(lines)

@@ -20,12 +20,34 @@ seeded runs diff cleanly apart from durations.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.audit import AdaptationAuditLog
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    format_labels,
+    unescape_label_value,
+)
 from repro.obs.tracing import MAIN_TRACK, Span
+
+__all__ = [
+    "chrome_trace",
+    "escape_label_value",
+    "events_jsonl",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "unescape_label_value",
+    "write_audit_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]
 
 PathLike = Union[str, Path]
 
@@ -154,26 +176,52 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_help(text: str) -> str:
+    # HELP text escapes only backslash and newline (no quoting involved)
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _histogram_labels(instrument: Histogram, boundary: str) -> str:
+    items = list(instrument.labels) + [("le", boundary)]
+    body = ",".join(f'{key}="{escape_label_value(val)}"' for key, val in items)
+    return "{" + body + "}"
+
+
 def prometheus_text(metrics: MetricsRegistry) -> str:
-    """The registry in the Prometheus text exposition format."""
+    """The registry in the Prometheus text exposition format.
+
+    Instruments sharing a metric name (labelled series) are grouped
+    under one ``# HELP`` / ``# TYPE`` header; label values are escaped
+    per the exposition spec (``\\\\``, ``\\"``, ``\\n``).
+    """
     lines: List[str] = []
+    seen_header: set = set()
     for instrument in metrics.instruments():
         name = instrument.name  # type: ignore[attr-defined]
-        if instrument.help:  # type: ignore[attr-defined]
-            lines.append(f"# HELP {name} {instrument.help}")  # type: ignore[attr-defined]
+        if name not in seen_header:
+            seen_header.add(name)
+            if instrument.help:  # type: ignore[attr-defined]
+                lines.append(
+                    f"# HELP {name} {_escape_help(instrument.help)}"  # type: ignore[attr-defined]
+                )
+            if isinstance(instrument, (Counter, Gauge, Histogram)):
+                lines.append(f"# TYPE {name} {instrument.kind}")
+        labels = format_labels(instrument.labels)  # type: ignore[attr-defined]
         if isinstance(instrument, Histogram):
-            lines.append(f"# TYPE {name} histogram")
             cumulative = instrument.cumulative_counts()
             for boundary, count in zip(instrument.boundaries, cumulative):
                 lines.append(
-                    f'{name}_bucket{{le="{_format_value(boundary)}"}} {count}'
+                    f"{name}_bucket"
+                    f"{_histogram_labels(instrument, _format_value(boundary))} {count}"
                 )
-            lines.append(f'{name}_bucket{{le="+Inf"}} {instrument.count}')
-            lines.append(f"{name}_sum {_format_value(instrument.total)}")
-            lines.append(f"{name}_count {instrument.count}")
+            lines.append(
+                f"{name}_bucket{_histogram_labels(instrument, '+Inf')} "
+                f"{instrument.count}"
+            )
+            lines.append(f"{name}_sum{labels} {_format_value(instrument.total)}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
         elif isinstance(instrument, (Counter, Gauge)):
-            lines.append(f"# TYPE {name} {instrument.kind}")
-            lines.append(f"{name} {_format_value(instrument.value)}")
+            lines.append(f"{name}{labels} {_format_value(instrument.value)}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -182,3 +230,121 @@ def write_prometheus(metrics: MetricsRegistry, path: PathLike) -> int:
     with open(path, "w") as handle:
         handle.write(prometheus_text(metrics))
     return len(metrics)
+
+
+# -- Prometheus text parsing (round-trip / dashboard --from) ------------------
+
+_PARSE_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+_PARSE_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$"
+)
+
+
+def _parse_label_body(body: str, context: str) -> List[Tuple[str, str]]:
+    items: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(body):
+        match = _PARSE_LABEL.match(body, position)
+        if match is None:
+            raise ValueError(f"{context}: malformed labels {body!r}")
+        items.append((match.group(1), unescape_label_value(match.group(2))))
+        position = match.end()
+        if position < len(body):
+            if body[position] != ",":
+                raise ValueError(f"{context}: malformed labels {body!r}")
+            position += 1
+    return items
+
+
+def parse_prometheus_text(text: str) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from a text exposition dump.
+
+    The inverse of :func:`prometheus_text` — used by ``socrates obs
+    top --from metrics.prom`` and the escaping round-trip tests.
+    Raises :class:`ValueError` on lines the exporter could never have
+    produced.
+    """
+    kinds: Dict[str, str] = {}
+    # (name, labels-without-le) -> {"buckets": [(le, cum)], "sum": v, "count": v}
+    histograms: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Dict[str, object]] = {}
+    scalars: List[Tuple[str, Tuple[Tuple[str, str], ...], float]] = []
+    helps: Dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        context = f"line {number}"
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            kinds[name] = kind.strip()
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = unescape_label_value(help_text)
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"{context}: unsupported comment {line!r}")
+        match = _PARSE_SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"{context}: malformed sample line {line!r}")
+        name, _, label_body, raw_value = match.groups()
+        labels = _parse_label_body(label_body, context) if label_body else []
+        value = float(raw_value)
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base is not None and kinds.get(base) == "histogram":
+                le = [v for k, v in labels if k == "le"]
+                rest_labels = tuple(
+                    (k, v) for k, v in labels if k != "le"
+                )
+                series = histograms.setdefault(
+                    (base, rest_labels), {"buckets": [], "sum": 0.0, "count": 0}
+                )
+                if suffix == "_bucket":
+                    if not le:
+                        raise ValueError(f"{context}: bucket sample lacks 'le'")
+                    series["buckets"].append((le[0], int(value)))  # type: ignore[attr-defined]
+                elif suffix == "_sum":
+                    series["sum"] = value
+                else:
+                    series["count"] = int(value)
+                break
+        else:
+            scalars.append((name, tuple(labels), value))
+
+    registry = MetricsRegistry()
+    for name, labels, value in scalars:
+        kind = kinds.get(name)
+        if kind == "counter":
+            registry.counter(name, help=helps.get(name, ""), labels=dict(labels)).inc(
+                value
+            )
+        elif kind == "gauge":
+            registry.gauge(name, help=helps.get(name, ""), labels=dict(labels)).set(
+                value
+            )
+        else:
+            raise ValueError(f"sample {name!r} has no # TYPE declaration")
+    for (name, labels), series in histograms.items():
+        boundaries = [
+            float(le) for le, _ in series["buckets"] if le != "+Inf"  # type: ignore[union-attr]
+        ]
+        if not boundaries:
+            raise ValueError(f"histogram {name!r} has no finite buckets")
+        instrument = registry.histogram(
+            name,
+            boundaries=boundaries,
+            help=helps.get(name, ""),
+            labels=dict(labels),
+        )
+        cumulative = [count for _, count in series["buckets"]]  # type: ignore[union-attr]
+        previous = 0
+        per_bucket: List[int] = []
+        for count in cumulative:
+            per_bucket.append(count - previous)
+            previous = count
+        instrument.bucket_counts = per_bucket
+        instrument.total = float(series["sum"])  # type: ignore[arg-type]
+        instrument.count = int(series["count"])  # type: ignore[arg-type]
+    return registry

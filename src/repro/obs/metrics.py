@@ -18,8 +18,74 @@ keeps disabled instrumentation at a single dynamic dispatch per call.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Valid Prometheus label names (label values are arbitrary strings,
+#: escaped at export time; see :mod:`repro.obs.export`).
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Canonical immutable form of an instrument's labels.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def canonical_labels(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    """Sorted, validated ``(name, value)`` tuples for a label mapping."""
+    if not labels:
+        return ()
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_NAME.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition spec:
+    backslash, double-quote and newline become ``\\\\``, ``\\"`` and
+    ``\\n``."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value`; reject stray backslashes."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\":
+            if index + 1 >= len(value):
+                raise ValueError(f"label value {value!r} ends in a bare backslash")
+            escape = value[index + 1]
+            if escape == "\\":
+                out.append("\\")
+            elif escape == '"':
+                out.append('"')
+            elif escape == "n":
+                out.append("\n")
+            else:
+                raise ValueError(
+                    f"label value {value!r} has invalid escape \\{escape}"
+                )
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def format_labels(labels: LabelItems) -> str:
+    """Render labels as ``{k="v",...}`` with escaped values ('' if none)."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in labels
+    )
+    return "{" + body + "}"
 
 #: Default boundaries for duration histograms (seconds).
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
@@ -41,12 +107,19 @@ class Counter:
 
     kind = "counter"
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: LabelItems = ()
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = labels
         self.value = 0.0
+
+    @property
+    def labelled_name(self) -> str:
+        return self.name + format_labels(self.labels)
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -54,7 +127,12 @@ class Counter:
         self.value += amount
 
     def as_dict(self) -> Dict[str, object]:
-        return {"kind": self.kind, "name": self.name, "value": self.value}
+        record: Dict[str, object] = {
+            "kind": self.kind, "name": self.name, "value": self.value
+        }
+        if self.labels:
+            record["labels"] = dict(self.labels)
+        return record
 
 
 class Gauge:
@@ -62,12 +140,19 @@ class Gauge:
 
     kind = "gauge"
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: LabelItems = ()
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = labels
         self.value = 0.0
+
+    @property
+    def labelled_name(self) -> str:
+        return self.name + format_labels(self.labels)
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -79,7 +164,12 @@ class Gauge:
         self.value -= amount
 
     def as_dict(self) -> Dict[str, object]:
-        return {"kind": self.kind, "name": self.name, "value": self.value}
+        record: Dict[str, object] = {
+            "kind": self.kind, "name": self.name, "value": self.value
+        }
+        if self.labels:
+            record["labels"] = dict(self.labels)
+        return record
 
 
 class Histogram:
@@ -93,13 +183,16 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("name", "help", "boundaries", "bucket_counts", "total", "count")
+    __slots__ = (
+        "name", "help", "labels", "boundaries", "bucket_counts", "total", "count"
+    )
 
     def __init__(
         self,
         name: str,
         boundaries: Sequence[float] = DEFAULT_TIME_BUCKETS,
         help: str = "",
+        labels: LabelItems = (),
     ) -> None:
         edges = tuple(float(b) for b in boundaries)
         if not edges:
@@ -108,10 +201,15 @@ class Histogram:
             raise ValueError("bucket boundaries must be strictly increasing")
         self.name = name
         self.help = help
+        self.labels = labels
         self.boundaries = edges
         self.bucket_counts: List[int] = [0] * (len(edges) + 1)
         self.total = 0.0
         self.count = 0
+
+    @property
+    def labelled_name(self) -> str:
+        return self.name + format_labels(self.labels)
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect_left(self.boundaries, value)] += 1
@@ -132,7 +230,7 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "kind": self.kind,
             "name": self.name,
             "boundaries": list(self.boundaries),
@@ -140,21 +238,31 @@ class Histogram:
             "sum": self.total,
             "count": self.count,
         }
+        if self.labels:
+            record["labels"] = dict(self.labels)
+        return record
 
 
 class MetricsRegistry:
-    """Creates and owns named instruments (get-or-create semantics)."""
+    """Creates and owns named instruments (get-or-create semantics).
+
+    Instruments are keyed by ``(name, labels)``: the same name with
+    different label sets yields distinct instruments (one time series
+    each, Prometheus-style), while repeating a ``(name, labels)`` pair
+    returns the identical object.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
-        self._instruments: Dict[str, object] = {}
+        self._instruments: Dict[Tuple[str, LabelItems], object] = {}
 
-    def _get(self, name: str, factory, kind: str):
-        instrument = self._instruments.get(name)
+    def _get(self, name: str, labels: LabelItems, factory, kind: str):
+        key = (name, labels)
+        instrument = self._instruments.get(key)
         if instrument is None:
             instrument = factory()
-            self._instruments[name] = instrument
+            self._instruments[key] = instrument
         elif getattr(instrument, "kind", None) != kind:
             raise ValueError(
                 f"metric {name!r} already registered as "
@@ -162,19 +270,35 @@ class MetricsRegistry:
             )
         return instrument
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, lambda: Counter(name, help), "counter")
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        items = canonical_labels(labels)
+        return self._get(name, items, lambda: Counter(name, help, items), "counter")
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, lambda: Gauge(name, help), "gauge")
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        items = canonical_labels(labels)
+        return self._get(name, items, lambda: Gauge(name, help, items), "gauge")
 
     def histogram(
         self,
         name: str,
         boundaries: Sequence[float] = DEFAULT_TIME_BUCKETS,
         help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
-        return self._get(name, lambda: Histogram(name, boundaries, help), "histogram")
+        items = canonical_labels(labels)
+        return self._get(
+            name, items, lambda: Histogram(name, boundaries, help, items), "histogram"
+        )
 
     # -- inspection -----------------------------------------------------------
 
@@ -182,18 +306,21 @@ class MetricsRegistry:
         return len(self._instruments)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        return any(key_name == name for key_name, _ in self._instruments)
 
-    def get(self, name: str) -> Optional[object]:
-        return self._instruments.get(name)
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[object]:
+        return self._instruments.get((name, canonical_labels(labels)))
 
     def instruments(self) -> List[object]:
-        """All instruments, sorted by name (deterministic export order)."""
-        return [self._instruments[name] for name in sorted(self._instruments)]
+        """All instruments, sorted by (name, labels) for deterministic
+        export order."""
+        return [self._instruments[key] for key in sorted(self._instruments)]
 
     def as_dict(self) -> Dict[str, object]:
         return {
-            instrument.name: instrument.as_dict()  # type: ignore[attr-defined]
+            instrument.labelled_name: instrument.as_dict()  # type: ignore[attr-defined]
             for instrument in self.instruments()
         }
 
@@ -234,6 +361,8 @@ class _NullInstrument:
     name = "null"
     help = ""
     kind = "null"
+    labels: LabelItems = ()
+    labelled_name = "null"
     value = 0.0
     total = 0.0
     count = 0
@@ -266,13 +395,13 @@ class NullMetricsRegistry(MetricsRegistry):
     def __init__(self) -> None:
         super().__init__()
 
-    def counter(self, name: str, help: str = "") -> Counter:  # type: ignore[override]
+    def counter(self, name: str, help: str = "", labels=None) -> Counter:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def gauge(self, name: str, help: str = "") -> Gauge:  # type: ignore[override]
+    def gauge(self, name: str, help: str = "", labels=None) -> Gauge:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def histogram(self, name, boundaries=DEFAULT_TIME_BUCKETS, help=""):  # type: ignore[override]
+    def histogram(self, name, boundaries=DEFAULT_TIME_BUCKETS, help="", labels=None):  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
     def absorb_engine_counters(self, counters) -> None:

@@ -28,10 +28,20 @@ PathLike = Union[str, Path]
 _REQUIRED_SPAN_FIELDS = ("name", "ph", "ts", "pid", "tid")
 
 _METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
-_LABELS = r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\}"
+#: A label value: any run of characters where backslash only appears in
+#: the three escapes the exposition format allows (\\, \", \n).  A raw
+#: double-quote terminates the value, so an unescaped quote (or a stray
+#: backslash) makes the whole line unmatchable — exactly what the
+#: validator should reject.
+_LABEL_VALUE = r"(?:\\\\|\\\"|\\n|[^\"\\])*"
+_LABELS = (
+    rf"\{{[a-zA-Z_][a-zA-Z0-9_]*=\"{_LABEL_VALUE}\""
+    rf"(,[a-zA-Z_][a-zA-Z0-9_]*=\"{_LABEL_VALUE}\")*\}}"
+)
 _VALUE = r"[-+]?(\d+(\.\d+)?([eE][-+]?\d+)?|\.\d+([eE][-+]?\d+)?|Inf|NaN)"
 _SAMPLE_LINE = re.compile(rf"^{_METRIC_NAME}({_LABELS})? {_VALUE}( \d+)?$")
 _COMMENT_LINE = re.compile(rf"^# (HELP|TYPE) {_METRIC_NAME}( .*)?$")
+_ONE_LABEL = re.compile(rf"[a-zA-Z_][a-zA-Z0-9_]*=\"{_LABEL_VALUE}\"")
 
 #: Tolerance when checking span containment, in microseconds.
 _NESTING_SLACK_US = 0.5
@@ -142,13 +152,22 @@ def validate_prometheus_text(path: PathLike) -> Dict[str, object]:
         if name.endswith("_bucket"):
             count = int(float(line.rsplit(" ", 1)[1]))
             base = name[: -len("_bucket")]
-            previous = histogram_cumulative.get(base, 0)
+            # cumulative counts restart per label series: key the check
+            # on the labels minus 'le'
+            label_body = line[line.index("{") + 1 : line.rindex("}")] if "{" in line else ""
+            series = ",".join(
+                part
+                for part in _ONE_LABEL.findall(label_body)
+                if not part.startswith('le="')
+            )
+            key = f"{base}{{{series}}}"
+            previous = histogram_cumulative.get(key, 0)
             if count < previous:
                 raise ValueError(
                     f"{path}:{number}: histogram {base!r} bucket counts "
                     f"are not cumulative ({count} < {previous})"
                 )
-            histogram_cumulative[base] = count
+            histogram_cumulative[key] = count
     if samples == 0:
         raise ValueError(f"{path}: no metric samples found")
     return {"samples": samples}

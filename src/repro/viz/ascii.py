@@ -112,6 +112,44 @@ def timeseries(
     return "\n".join(lines)
 
 
+def meter(
+    fraction: float,
+    width: int = 24,
+    label: str = "",
+) -> str:
+    """Render a 0..1 fraction as a bracketed fill bar with a percent.
+
+    ``[############------------]  50.0% label`` — used by the
+    observability dashboard for cache hit rates.
+    """
+    clamped = min(1.0, max(0.0, float(fraction)))
+    filled = int(round(clamped * width))
+    bar = "#" * filled + "-" * (width - filled)
+    suffix = f" {label}" if label else ""
+    return f"[{bar}] {clamped * 100:5.1f}%{suffix}"
+
+
+def bucket_bars(
+    labels: Sequence[str],
+    counts: Sequence[float],
+    width: int = 40,
+) -> str:
+    """Render labelled bucket counts as horizontal bars.
+
+    Unlike :func:`histogram`, the bucketing is already done (e.g. a
+    Prometheus-style histogram's fixed boundaries); this only draws.
+    """
+    if not labels:
+        return ""
+    peak = max(max(counts), 1)
+    label_width = max(len(str(label)) for label in labels)
+    lines: List[str] = []
+    for label, count in zip(labels, counts):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{str(label):>{label_width}s} |{bar} {count:g}")
+    return "\n".join(lines)
+
+
 def histogram(
     values: Sequence[float],
     bins: int = 12,

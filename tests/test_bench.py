@@ -1,0 +1,765 @@
+"""Tests for the performance observatory: `repro.bench` + `repro.obs.diff`.
+
+Covers the robust statistics, the scenario harness, baseline
+persistence, the MAD-scaled regression gate (including an injected
+slowdown that the gate must attribute to the offending span), the
+span-level trace diff, the label-escaping round trip through the
+Prometheus exporter, the dashboard renderer, and the ``socrates bench``
+/ ``socrates obs diff`` / ``socrates obs top`` CLI surface.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    BenchBaseline,
+    RobustStats,
+    SpanTimer,
+    baseline_filename,
+    compare_result,
+    load_baseline,
+    mad,
+    median,
+    peak_rss_kb,
+    run_scenario,
+    save_baseline,
+)
+from repro.bench import scenarios as scenarios_mod
+from repro.bench.scenarios import all_scenarios, get_scenario, quick_scenarios
+from repro.cli import main
+from repro.obs import Observability
+from repro.obs.dashboard import live_dashboard, render_dashboard
+from repro.obs.diff import (
+    aggregate_spans,
+    diff_chrome_traces,
+    diff_span_lists,
+    format_diff,
+    profile_chrome_trace,
+)
+from repro.obs.export import (
+    chrome_trace,
+    parse_prometheus_text,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    canonical_labels,
+    escape_label_value,
+    unescape_label_value,
+)
+from repro.obs.tracing import Tracer
+from repro.obs.validate import validate_chrome_trace, validate_prometheus_text
+
+
+class FakeClock:
+    """Deterministic monotonic clock for tracer tests."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+# ---------------------------------------------------------------------------
+# robust statistics
+# ---------------------------------------------------------------------------
+
+
+class TestRobustStats:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_ignores_outliers(self):
+        # one wild outlier moves the mean by ~200 but the MAD barely
+        samples = [1.0, 1.1, 0.9, 1.0, 1000.0]
+        assert mad(samples) == pytest.approx(0.1)
+
+    def test_mad_raw_no_consistency_factor(self):
+        assert mad([0.0, 1.0, 2.0]) == 1.0
+
+    def test_from_samples_round_trip(self):
+        stats = RobustStats.from_samples([2.0, 1.0, 4.0])
+        assert (stats.n, stats.median, stats.min, stats.max) == (3, 2.0, 1.0, 4.0)
+        assert RobustStats.from_dict(stats.as_dict()) == stats
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(ValueError, match="malformed robust-stats"):
+            RobustStats.from_dict({"n": 3, "median": "xx"})
+        with pytest.raises(ValueError):
+            RobustStats.from_samples([])
+
+
+# ---------------------------------------------------------------------------
+# span-based measurement
+# ---------------------------------------------------------------------------
+
+
+class TestSpanTimer:
+    def test_wrap_records_spans(self):
+        timer = SpanTimer()
+        double = timer.wrap("double", lambda x: 2 * x)
+        assert [double(n) for n in (1, 2, 3)] == [2, 4, 6]
+        assert timer.count("double") == 3
+        assert timer.total_s("double") >= 0.0
+        assert len(timer.durations_s("double")) == 3
+
+    def test_call_and_totals(self):
+        timer = SpanTimer()
+        assert timer.call("add", lambda a, b: a + b, 2, 3) == 5
+        totals = timer.totals()
+        assert set(totals) == {"add"}
+        timer.clear()
+        assert timer.totals() == {}
+
+    def test_peak_rss_positive_on_linux(self):
+        assert peak_rss_kb() > 0
+
+
+# ---------------------------------------------------------------------------
+# the scenario harness
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def synthetic_scenario():
+    """A registered scenario with an injectable slowdown and a
+    twistable fingerprint; unregistered afterwards."""
+    name = "_test_synthetic"
+    control = {"delay_s": 0.0, "points": 7}
+
+    def runner(obs):
+        with obs.tracer.span("work:fast"):
+            pass
+        with obs.tracer.span("work:slow"):
+            if control["delay_s"]:
+                time.sleep(control["delay_s"])
+        return {"points": control["points"]}
+
+    scenarios_mod._REGISTRY[name] = scenarios_mod.BenchScenario(
+        name=name, description="synthetic test workload", runner=runner
+    )
+    try:
+        yield name, control
+    finally:
+        del scenarios_mod._REGISTRY[name]
+
+
+class TestScenarioHarness:
+    def test_registry_contents(self):
+        names = {scenario.name for scenario in all_scenarios()}
+        assert {
+            "single_build",
+            "suite_sweep",
+            "dse_exploration",
+            "cobayn_corpus",
+            "adaptation_loop",
+        } <= names
+        quick = {scenario.name for scenario in quick_scenarios()}
+        assert "suite_sweep" not in quick  # too slow for the default gate
+        assert "dse_exploration" in quick
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_bad_repeats(self, synthetic_scenario):
+        name, _ = synthetic_scenario
+        with pytest.raises(ValueError, match="repeats"):
+            run_scenario(name, repeats=0)
+
+    def test_run_collects_everything(self, synthetic_scenario):
+        name, _ = synthetic_scenario
+        result = run_scenario(name, repeats=2)
+        assert result.repeats == 2 and len(result.wall_s) == 2
+        assert set(result.span_totals) == {f"bench:{name}", "work:fast", "work:slow"}
+        assert all(len(samples) == 2 for samples in result.span_totals.values())
+        assert result.span_counts["work:fast"] == 1
+        assert result.fingerprint == {"points": 7}
+        assert result.peak_rss_kb > 0
+        assert any(span.name == "work:slow" for span in result.spans)
+        # wall time is the root bench span, measured through the tracer
+        root = [s for s in result.spans if s.name == f"bench:{name}"]
+        assert len(root) == 1
+        assert result.wall_s[-1] == root[0].duration_s
+
+    def test_nondeterministic_fingerprint_rejected(self, synthetic_scenario):
+        name, control = synthetic_scenario
+        original = dict(control)
+
+        def runner(obs):
+            control["points"] += 1
+            return {"points": control["points"]}
+
+        scenarios_mod._REGISTRY[name] = scenarios_mod.BenchScenario(
+            name=name, description="drifting", runner=runner
+        )
+        try:
+            with pytest.raises(ValueError, match="nondeterministic"):
+                run_scenario(name, repeats=2)
+        finally:
+            control.update(original)
+
+    def test_duplicate_registration_rejected(self, synthetic_scenario):
+        name, _ = synthetic_scenario
+        with pytest.raises(ValueError, match="already registered"):
+            scenarios_mod.register(name, "dup")(lambda obs: {})
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_save_load_round_trip(self, synthetic_scenario, tmp_path):
+        name, _ = synthetic_scenario
+        result = run_scenario(name, repeats=3)
+        baseline = BenchBaseline.from_result(result)
+        path = save_baseline(baseline, tmp_path / baseline_filename(name))
+        assert path.name == f"BENCH_{name}.json"
+        document = json.loads(path.read_text())
+        assert document["schema"] == SCHEMA
+        assert document["fingerprint"] == {"points": 7}
+        loaded = load_baseline(path)
+        assert loaded == baseline
+
+    def test_save_is_deterministic(self, synthetic_scenario, tmp_path):
+        name, _ = synthetic_scenario
+        baseline = BenchBaseline.from_result(run_scenario(name, repeats=2))
+        save_baseline(baseline, tmp_path / "a.json")
+        save_baseline(baseline, tmp_path / "b.json")
+        assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()
+
+    def test_load_rejects_garbage(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ValueError, match="cannot read"):
+            load_baseline(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_baseline(bad)
+        bad.write_text("[]")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_baseline(bad)
+        bad.write_text(json.dumps({"schema": "socrates-bench/999"}))
+        with pytest.raises(ValueError, match="unsupported baseline schema"):
+            load_baseline(bad)
+        bad.write_text(json.dumps({"schema": SCHEMA}))
+        with pytest.raises(ValueError, match="required field"):
+            load_baseline(bad)
+
+
+# ---------------------------------------------------------------------------
+# the regression gate
+# ---------------------------------------------------------------------------
+
+
+class TestGate:
+    def test_unchanged_workload_passes(self, synthetic_scenario):
+        name, _ = synthetic_scenario
+        baseline = BenchBaseline.from_result(run_scenario(name, repeats=3))
+        report = compare_result(baseline, run_scenario(name, repeats=3))
+        assert report.ok
+        assert report.fingerprint_ok
+        assert not report.offenders
+        assert "all spans within thresholds" in report.format()
+
+    def test_injected_slowdown_names_the_span(self, synthetic_scenario):
+        name, control = synthetic_scenario
+        baseline = BenchBaseline.from_result(run_scenario(name, repeats=3))
+        control["delay_s"] = 0.25
+        report = compare_result(
+            baseline,
+            run_scenario(name, repeats=2),
+            threshold=0.5,
+            mad_k=6.0,
+            min_delta_s=0.01,
+        )
+        assert not report.ok
+        assert report.wall.regressed
+        offenders = [verdict.name for verdict in report.offenders]
+        assert "work:slow" in offenders
+        assert "work:fast" not in offenders
+        text = report.format()
+        assert "REGRESSION attributed to span" in text
+        assert "'work:slow'" in text or "'bench:" in text.split("attributed")[1]
+        # the trace diff ranks the slow span first among real changes
+        assert report.diff is not None
+        top_names = [d.name for d in report.diff.deltas[:2]]
+        assert "work:slow" in top_names
+
+    def test_fingerprint_drift_fails_without_timing(self, synthetic_scenario):
+        name, control = synthetic_scenario
+        baseline = BenchBaseline.from_result(run_scenario(name, repeats=2))
+        control["points"] = 8
+        report = compare_result(baseline, run_scenario(name, repeats=2))
+        assert not report.ok
+        assert not report.fingerprint_ok
+        assert report.fingerprint_diffs == {"points": (7, 8)}
+        assert "fingerprint DRIFTED" in report.format()
+
+    def test_added_and_removed_spans(self, synthetic_scenario):
+        name, _ = synthetic_scenario
+        baseline = BenchBaseline.from_result(run_scenario(name, repeats=2))
+
+        def runner(obs):
+            with obs.tracer.span("work:new"):
+                pass
+            return {"points": 7}
+
+        scenarios_mod._REGISTRY[name] = scenarios_mod.BenchScenario(
+            name=name, description="reshaped", runner=runner
+        )
+        report = compare_result(baseline, run_scenario(name, repeats=2))
+        by_name = {verdict.name: verdict for verdict in report.stages}
+        assert by_name["work:slow"].status == "removed"
+        assert not by_name["work:slow"].regressed
+        assert by_name["work:new"].status == "added"
+        assert not by_name["work:new"].regressed  # under the absolute floor
+
+    def test_scenario_mismatch_rejected(self, synthetic_scenario):
+        name, _ = synthetic_scenario
+        baseline = BenchBaseline.from_result(run_scenario(name, repeats=1))
+        result = run_scenario(name, repeats=1)
+        object.__setattr__(baseline, "scenario", "other")
+        with pytest.raises(ValueError, match="baseline is for scenario"):
+            compare_result(baseline, result)
+
+
+# ---------------------------------------------------------------------------
+# trace diffing
+# ---------------------------------------------------------------------------
+
+
+def _spans(names_durations):
+    tracer = Tracer(clock=FakeClock(step=0.0))
+    clock = tracer._clock  # drive durations explicitly
+    for name, duration in names_durations:
+        with tracer.span(name):
+            clock.now += duration
+    return tracer.spans
+
+
+class TestTraceDiff:
+    def test_identical_traces_diff_to_exactly_zero(self):
+        spans = _spans([("a", 1.0), ("b", 2.0), ("a", 0.5)])
+        diff = diff_span_lists(spans, spans)
+        assert diff.total_delta_s == 0.0
+        assert all(delta.status == "unchanged" for delta in diff.deltas)
+        assert all(delta.delta_s == 0.0 for delta in diff.deltas)
+
+    def test_aggregation_counts_and_totals(self):
+        aggregates = aggregate_spans(_spans([("a", 1.0), ("a", 2.0), ("b", 4.0)]))
+        assert aggregates["a"].count == 2
+        assert aggregates["a"].total_s == pytest.approx(3.0)
+        assert aggregates["a"].mean_s == pytest.approx(1.5)
+
+    def test_added_removed_changed_sorted_by_delta(self):
+        diff = diff_span_lists(
+            _spans([("gone", 1.0), ("same", 1.0), ("grew", 1.0)]),
+            _spans([("same", 1.0), ("grew", 4.0), ("new", 0.5)]),
+        )
+        statuses = {delta.name: delta.status for delta in diff.deltas}
+        assert statuses == {
+            "gone": "removed",
+            "same": "unchanged",
+            "grew": "changed",
+            "new": "added",
+        }
+        assert diff.deltas[0].name == "grew"  # |+3.0| is the largest
+        assert diff.total_delta_s == pytest.approx(2.5)
+        assert [d.name for d in diff.by_status("added")] == ["new"]
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        spans = _spans([("x", 1.0), ("y", 0.25), ("x", 0.75)])
+        path = tmp_path / "trace.json"
+        write_chrome_trace(spans, path)
+        profile = profile_chrome_trace(path)
+        assert profile["x"].count == 2
+        assert profile["x"].total_s == pytest.approx(1.75)
+        diff = diff_chrome_traces(path, path)
+        assert diff.total_delta_s == 0.0
+
+    def test_profile_rejects_garbage(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            profile_chrome_trace(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError, match="traceEvents"):
+            profile_chrome_trace(bad)
+
+    def test_format_diff_table(self):
+        diff = diff_span_lists(
+            _spans([("alpha", 1.0)]), _spans([("alpha", 3.0)])
+        )
+        text = format_diff(diff, label_a="base", label_b="new")
+        assert "t(base)" in text and "t(new)" in text
+        assert "alpha" in text and "+2.0000" in text
+        assert text.splitlines()[-1].startswith("TOTAL")
+
+
+# ---------------------------------------------------------------------------
+# exporter edge cases + escaping round trip
+# ---------------------------------------------------------------------------
+
+
+class TestExporterEdgeCases:
+    def test_empty_trace_exports_and_validates(self, tmp_path):
+        document = chrome_trace([])
+        assert [e["ph"] for e in document["traceEvents"]] == ["M", "M"]
+        path = tmp_path / "empty.json"
+        write_chrome_trace([], path)
+        # the exporter handles zero spans; the validator deliberately
+        # rejects such a file (an empty trace means broken instrumentation)
+        with pytest.raises(ValueError, match="no span events"):
+            validate_chrome_trace(path)
+        assert profile_chrome_trace(path) == {}
+
+    def test_open_spans_excluded_at_export_time(self):
+        tracer = Tracer(clock=FakeClock())
+        context = tracer.span("still-open")
+        context.__enter__()
+        with tracer.span("finished"):
+            pass
+        document = chrome_trace(tracer.spans)
+        names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
+        assert names == ["finished"]
+        context.__exit__(None, None, None)
+        names = [
+            e["name"] for e in chrome_trace(tracer.spans)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert sorted(names) == ["finished", "still-open"]
+
+    def test_zero_count_histogram_exports_and_validates(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("empty_hist", boundaries=[1.0, 2.0], help="never observed")
+        text = prometheus_text(registry)
+        assert 'empty_hist_bucket{le="+Inf"} 0' in text
+        assert "empty_hist_count 0" in text
+        path = tmp_path / "empty.prom"
+        path.write_text(text)
+        assert validate_prometheus_text(path)["samples"] > 0
+        rebuilt = parse_prometheus_text(text)
+        instrument = rebuilt.get("empty_hist")
+        assert instrument.count == 0 and instrument.total == 0.0
+
+    def test_empty_registry_round_trip(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        assert len(parse_prometheus_text("")) == 0
+
+
+class TestLabelEscaping:
+    NASTY = 'back\\slash "quoted"\nnewline'
+
+    def test_escape_unescape_inverse(self):
+        escaped = escape_label_value(self.NASTY)
+        assert "\n" not in escaped
+        assert unescape_label_value(escaped) == self.NASTY
+
+    def test_unescape_rejects_stray_backslash(self):
+        with pytest.raises(ValueError, match="bare backslash"):
+            unescape_label_value("ends\\")
+        with pytest.raises(ValueError, match="invalid escape"):
+            unescape_label_value("bad\\q")
+
+    def test_labelled_export_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", help="with\nnewline", labels={"path": self.NASTY}).inc(3)
+        registry.gauge("depth", labels={"track": 'say "hi"'}).set(2.5)
+        registry.histogram(
+            "lat_seconds", boundaries=[0.1, 1.0], labels={"stage": "a\\b"}
+        ).observe(0.5)
+        text = prometheus_text(registry)
+        path = tmp_path / "nasty.prom"
+        path.write_text(text)
+        validate_prometheus_text(path)  # escaped output passes the validator
+        rebuilt = parse_prometheus_text(text)
+        counter = rebuilt.get("hits_total", labels={"path": self.NASTY})
+        assert counter is not None and counter.value == 3
+        assert counter.help == "with\nnewline"
+        hist = rebuilt.get("lat_seconds", labels={"stage": "a\\b"})
+        assert hist.count == 1 and hist.total == pytest.approx(0.5)
+        # byte-exact round trip: export(parse(export(r))) == export(r)
+        assert prometheus_text(rebuilt) == text
+
+    def test_validator_rejects_unescaped_output(self, tmp_path):
+        path = tmp_path / "bad.prom"
+        path.write_text('# TYPE m counter\nm{l="a"b"} 1\n')
+        with pytest.raises(ValueError):
+            validate_prometheus_text(path)
+        path.write_text('# TYPE m counter\nm{l="a\\qb"} 1\n')
+        with pytest.raises(ValueError):
+            validate_prometheus_text(path)
+
+    def test_label_series_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("reqs", labels={"code": "200"})
+        b = registry.counter("reqs", labels={"code": "500"})
+        assert a is not b
+        assert registry.counter("reqs", labels={"code": "200"}) is a
+        assert "reqs" in registry
+        assert len(registry) == 2
+        with pytest.raises(ValueError, match="invalid label name"):
+            canonical_labels({"bad-name": "x"})
+
+    def test_per_series_cumulative_bucket_validation(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("d_seconds", boundaries=[1.0], labels={"s": "a"}).observe(0.5)
+        registry.histogram("d_seconds", boundaries=[1.0], labels={"s": "b"}).observe(2.0)
+        # two interleaved label series each restart their cumulative
+        # counts; the validator must key the check per series
+        path = tmp_path / "series.prom"
+        path.write_text(prometheus_text(registry))
+        validate_prometheus_text(path)
+
+
+# ---------------------------------------------------------------------------
+# dashboard
+# ---------------------------------------------------------------------------
+
+
+class TestDashboard:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.gauge("socrates_engine_compile_hits").set(30)
+        registry.gauge("socrates_engine_compile_misses").set(10)
+        registry.gauge("socrates_engine_points_evaluated").set(1200)
+        registry.histogram(
+            "socrates_stage_duration_seconds", labels={"stage": "prune"}
+        ).observe(0.02)
+        return registry
+
+    def test_render_dashboard_sections(self):
+        frame = render_dashboard(self._registry())
+        assert "SOCRATES observability" in frame
+        assert "compile" in frame and "75.0%" in frame
+        assert "evaluations: 1200 design points" in frame
+        assert 'socrates_stage_duration_seconds{stage="prune"}' in frame
+        assert "#" in frame  # a meter/bar actually rendered
+
+    def test_render_zero_count_histogram(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_seconds", boundaries=[1.0])
+        frame = render_dashboard(registry)
+        assert "empty_seconds" in frame and "n=0" in frame
+
+    def test_live_dashboard_draws_until_done(self):
+        import io
+
+        stream = io.StringIO()
+        ticks = {"n": 0}
+
+        def done():
+            ticks["n"] += 1
+            return ticks["n"] >= 3
+
+        frames = live_dashboard(
+            lambda n: f"frame {n}", done, refresh_s=0.0, stream=stream
+        )
+        assert frames == 3
+        assert "frame 2" in stream.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# determinism: benchmarking on/off must not change seeded outputs
+# ---------------------------------------------------------------------------
+
+
+class TestBenchDeterminism:
+    def test_seeded_build_identical_under_bench_harness(self, tmp_path):
+        from repro.core.toolflow import SocratesToolflow
+        from repro.margot.oplist import save_knowledge
+        from repro.polybench.suite import load
+
+        def build(obs):
+            flow = SocratesToolflow(
+                dse_repetitions=1, thread_counts=[1, 4], obs=obs
+            )
+            return flow.build(load("mvt"))
+
+        plain = build(None)  # observability (and benchmarking) off
+        with Observability().tracer.span("bench:manual"):
+            traced = build(Observability())  # the bench code path
+        assert plain.adaptive_source == traced.adaptive_source
+        save_knowledge(plain.exploration.knowledge, tmp_path / "plain.json")
+        save_knowledge(traced.exploration.knowledge, tmp_path / "traced.json")
+        assert (tmp_path / "plain.json").read_bytes() == (
+            tmp_path / "traced.json"
+        ).read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestBenchCli:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "single_build" in out and "suite_sweep" in out
+        assert "full" in out and "quick" in out
+
+    def test_bench_run_writes_schema_versioned_baseline(
+        self, synthetic_scenario, tmp_path, capsys
+    ):
+        name, _ = synthetic_scenario
+        assert (
+            main(
+                [
+                    "bench",
+                    "run",
+                    "--scenario",
+                    name,
+                    "--repeats",
+                    "2",
+                    "--out-dir",
+                    str(tmp_path),
+                    "--trace-out-dir",
+                    str(tmp_path / "traces"),
+                ]
+            )
+            == 0
+        )
+        document = json.loads((tmp_path / f"BENCH_{name}.json").read_text())
+        assert document["schema"] == SCHEMA
+        assert document["repeats"] == 2
+        trace = tmp_path / "traces" / f"TRACE_{name}.json"
+        assert "traceEvents" in json.loads(trace.read_text())
+
+    def test_bench_run_suite_sweep_acceptance(self, tmp_path, capsys):
+        """The acceptance path: one real 12-app sweep baseline."""
+        assert (
+            main(
+                [
+                    "bench", "run", "--scenario", "suite_sweep",
+                    "--repeats", "1", "--out-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        document = json.loads((tmp_path / "BENCH_suite_sweep.json").read_text())
+        assert document["schema"] == SCHEMA
+        assert document["fingerprint"]["apps_built"] == 12
+        assert document["wall_s"]["median"] > 0
+        assert "stage:characterize" in document["stages"]
+
+    def test_bench_run_unknown_scenario(self, capsys):
+        assert main(["bench", "run", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bench_gate_ok_then_regression(
+        self, synthetic_scenario, tmp_path, capsys
+    ):
+        name, control = synthetic_scenario
+        argv = ["--scenario", name, "--repeats", "2", "--baseline-dir", str(tmp_path)]
+        assert main(["bench", "run", "--scenario", name, "--repeats", "3",
+                     "--out-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+        # unchanged tree: exit 0
+        assert main(["bench", "gate"] + argv) == 0
+        assert "bench gate: OK" in capsys.readouterr().out
+
+        # injected slowdown: exit 3, offending span named, artifacts written
+        control["delay_s"] = 0.25
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            ["bench", "gate"] + argv + ["--min-delta-s", "0.01", "--out-dir", str(out_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "bench gate: FAIL" in out
+        assert "REGRESSION attributed to span 'work:slow'" in out
+        assert (out_dir / f"BENCH_{name}.json").exists()
+        gate_doc = json.loads((out_dir / f"GATE_{name}.json").read_text())
+        assert gate_doc["ok"] is False
+        assert "work:slow" in gate_doc["offenders"]
+        assert "work:slow" in (out_dir / f"DIFF_{name}.txt").read_text()
+
+    def test_bench_compare_always_exits_zero(
+        self, synthetic_scenario, tmp_path, capsys
+    ):
+        name, control = synthetic_scenario
+        assert main(["bench", "run", "--scenario", name, "--repeats", "2",
+                     "--out-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        control["delay_s"] = 0.2
+        assert (
+            main(
+                [
+                    "bench", "compare", "--scenario", name, "--repeats", "1",
+                    "--baseline-dir", str(tmp_path), "--min-delta-s", "0.01",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        reports = json.loads(out)
+        assert reports[0]["ok"] is False
+
+    def test_bench_gate_missing_baseline(self, synthetic_scenario, tmp_path, capsys):
+        name, _ = synthetic_scenario
+        assert (
+            main(
+                ["bench", "gate", "--scenario", name, "--baseline-dir", str(tmp_path)]
+            )
+            == 2
+        )
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestObsCli:
+    def test_obs_diff_identical_traces(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        write_chrome_trace(_spans([("a", 1.0), ("b", 2.0)]), path)
+        assert main(["obs", "diff", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "+0.0000" in out
+        assert "identical in both traces" in out
+
+    def test_obs_diff_json_mode(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(_spans([("x", 1.0)]), a)
+        write_chrome_trace(_spans([("x", 2.0)]), b)
+        assert main(["obs", "diff", str(a), str(b), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["total_delta_s"] == pytest.approx(1.0)
+        assert document["deltas"][0]["name"] == "x"
+
+    def test_obs_diff_bad_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["obs", "diff", str(missing), str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_obs_top_once_from_prom_file(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.gauge("socrates_engine_truth_hits").set(5)
+        registry.gauge("socrates_engine_truth_misses").set(5)
+        path = tmp_path / "metrics.prom"
+        path.write_text(prometheus_text(registry))
+        assert main(["obs", "top", "--from", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "SOCRATES observability" in out
+        assert "truth" in out and "50.0%" in out
+
+    def test_obs_top_once_live_scenario(self, synthetic_scenario, capsys):
+        name, _ = synthetic_scenario
+        assert main(["obs", "top", "--scenario", name, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "SOCRATES observability" in out
+        assert "spans:" in out

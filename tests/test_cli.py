@@ -30,6 +30,14 @@ class TestParser:
             ["table1"],
             ["build", "2mm", "--stage-report", "--workers", "2"],
             ["stats", "2mm", "--threads", "1,4", "--repetitions", "1"],
+            ["stats", "2mm", "--json"],
+            ["build", "2mm", "--stage-report", "--json"],
+            ["bench", "list"],
+            ["bench", "run", "--scenario", "single_build", "--repeats", "2"],
+            ["bench", "gate", "--all", "--threshold", "1.5", "--out-dir", "x"],
+            ["bench", "compare", "--baseline-dir", "b", "--json"],
+            ["obs", "diff", "a.json", "b.json", "--limit", "5"],
+            ["obs", "top", "--from", "m.prom", "--once"],
         ],
     )
     def test_valid_invocations_parse(self, argv):
@@ -102,6 +110,30 @@ class TestCommands:
         assert payload["backend"] == "serial"
         assert payload["engine"]["compile_cache"]["misses"] > 0
         assert len(payload["stages"]) == 5
+
+    def test_stats_json_single_line(self, capsys):
+        assert main(["stats", "mvt", "--json"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1  # exactly one machine-readable line
+        payload = json.loads(out)
+        assert payload["app"] == "mvt"
+        assert len(payload["stages"]) == 5
+
+    def test_build_json_stage_report(self, capsys):
+        assert main(["build", "mvt", "--stage-report", "--json"] + FAST) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # the whole stdout is one JSON document
+        assert payload["app"] == "mvt"
+        assert payload["knowledge_points"] > 0
+        assert len(payload["custom_flags"]) == 4
+        stages = [entry["stage"] for entry in payload["stage_report"]["stages"]]
+        assert stages == ["characterize", "prune", "weave", "profile", "assemble"]
+
+    def test_build_json_without_stage_report(self, capsys):
+        assert main(["build", "mvt", "--json"] + FAST) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "stage_report" not in payload
+        assert payload["coverage"] == 1.0
 
     def test_fig4(self, capsys):
         assert main(["fig4", "--app", "mvt", "--steps", "4"] + FAST) == 0

@@ -1,0 +1,176 @@
+"""Structured diagnostics for ``socrates check``.
+
+A :class:`Diagnostic` carries a rule id, a severity, a location in
+the *printed* canonical source (file/function/line) and a fix hint;
+a :class:`CheckReport` aggregates them across units and knows the
+exit-code contract (0 clean / 2 warnings-only / 3 errors, mirroring
+the bench gate's convention) plus the JSON and SARIF 2.1.0
+renderings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 2
+EXIT_ERRORS = 3
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def sarif_level(self) -> str:
+        return self.value
+
+
+@dataclass
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    rule: str
+    severity: Severity
+    message: str
+    file: str
+    function: Optional[str] = None
+    line: Optional[int] = None
+    hint: Optional[str] = None
+    phase: str = "pristine"  # or "woven"
+    anchor_id: Optional[int] = field(default=None, repr=False, compare=False)
+
+    @property
+    def location(self) -> str:
+        place = f"{self.file}:{self.line}" if self.line else self.file
+        if self.function:
+            place += f" ({self.function})"
+        return place
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.file,
+            "function": self.function,
+            "line": self.line,
+            "hint": self.hint,
+            "phase": self.phase,
+        }
+
+    def format(self) -> str:
+        text = f"{self.location}: {self.severity.value}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n  hint: {self.hint}"
+        return text
+
+
+@dataclass
+class CheckReport:
+    """Aggregated diagnostics of one ``socrates check`` invocation."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    units_checked: int = 0
+
+    def extend(self, diagnostics: List[Diagnostic], units: int = 0) -> None:
+        self.diagnostics.extend(diagnostics)
+        self.units_checked += units
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean / 2 warnings-only / 3 any error."""
+        if self.errors:
+            return EXIT_ERRORS
+        if self.warnings:
+            return EXIT_WARNINGS
+        return EXIT_CLEAN
+
+    def summary(self) -> str:
+        return (
+            f"socrates check: {self.units_checked} unit(s), "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "format": 1,
+            "units_checked": self.units_checked,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "exit_code": self.exit_code,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def as_sarif(self) -> Dict[str, object]:
+        """Render as a SARIF 2.1.0 document (one run, one driver)."""
+        from repro.analysis.rules import RULES
+
+        fired = sorted({d.rule for d in self.diagnostics})
+        rules = []
+        for rule_id in fired:
+            rule = RULES.get(rule_id)
+            entry: Dict[str, object] = {"id": rule_id}
+            if rule is not None:
+                entry["shortDescription"] = {"text": rule.summary}
+                entry["fullDescription"] = {"text": rule.description}
+                entry["defaultConfiguration"] = {
+                    "level": rule.severity.sarif_level
+                }
+            rules.append(entry)
+        results = []
+        for diag in self.diagnostics:
+            location: Dict[str, object] = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.file},
+                    "region": {"startLine": diag.line or 1},
+                }
+            }
+            if diag.function:
+                location["logicalLocations"] = [
+                    {"name": diag.function, "kind": "function"}
+                ]
+            message = diag.message
+            if diag.hint:
+                message += f" Hint: {diag.hint}"
+            results.append(
+                {
+                    "ruleId": diag.rule,
+                    "level": diag.severity.sarif_level,
+                    "message": {"text": message},
+                    "locations": [location],
+                    "properties": {"phase": diag.phase},
+                }
+            )
+        return {
+            "$schema": SARIF_SCHEMA,
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "socrates-check",
+                            "informationUri": "https://github.com/",
+                            "version": "1.0.0",
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }

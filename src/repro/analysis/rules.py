@@ -1,0 +1,133 @@
+"""The ``socrates check`` rule catalogue.
+
+Two families:
+
+* ``OMP0xx`` — OpenMP data-race lint over ``#pragma omp parallel
+  for`` regions (applies to pristine and woven sources alike);
+* ``WV1xx`` — weave-verifier structural checks over ``Weaver``
+  output (woven sources only; all error severity, because a
+  violation corrupts every downstream DSE point).
+
+The catalogue is what ``docs/static_analysis.md`` documents and what
+the SARIF export embeds as the driver's rule metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One check: stable id, default severity, documentation."""
+
+    id: str
+    severity: Severity
+    summary: str
+    description: str
+
+
+_RULE_LIST = [
+    Rule(
+        id="OMP001",
+        severity=Severity.ERROR,
+        summary="shared scalar written inside a parallel loop",
+        description=(
+            "A scalar that is neither privatized by a clause, a reduction "
+            "variable, the parallel induction variable, nor declared inside "
+            "the region is written by every thread: a data race."
+        ),
+    ),
+    Rule(
+        id="OMP002",
+        severity=Severity.WARNING,
+        summary="shared array written without an induction-indexed subscript",
+        description=(
+            "A shared array is written through subscripts that never mention "
+            "the parallel induction variable, so distinct iterations may "
+            "write the same element."
+        ),
+    ),
+    Rule(
+        id="OMP003",
+        severity=Severity.WARNING,
+        summary="parallel-for pragma does not control an analyzable for loop",
+        description=(
+            "The statement following '#pragma omp parallel for' is not a "
+            "'for' loop the analyzer can associate with the pragma."
+        ),
+    ),
+    Rule(
+        id="OMP004",
+        severity=Severity.WARNING,
+        summary="parallel loop induction variable not recognized",
+        description=(
+            "The controlled loop's init is not a simple declaration or "
+            "assignment, so the sharing classification cannot run."
+        ),
+    ),
+    Rule(
+        id="WV101",
+        severity=Severity.ERROR,
+        summary="dispatch wrapper does not cover the version list",
+        description=(
+            "The wrapper's dispatch arms must call exactly the cloned "
+            "versions recorded in the weave plan, one arm per VersionSpec."
+        ),
+    ),
+    Rule(
+        id="WV102",
+        severity=Severity.ERROR,
+        summary="dispatch wrapper lacks a safe default arm",
+        description=(
+            "The final arm of the wrapper must call a version "
+            "unconditionally, so out-of-range control values still compute."
+        ),
+    ),
+    Rule(
+        id="WV103",
+        severity=Severity.ERROR,
+        summary="cloned version carries inconsistent pragmas",
+        description=(
+            "Every clone must carry the GCC optimize pragma of its "
+            "FlagConfiguration and rewrite each parallel-for pragma with "
+            "num_threads(__socrates_num_threads) and the proc_bind policy "
+            "of its VersionSpec."
+        ),
+    ),
+    Rule(
+        id="WV104",
+        severity=Severity.ERROR,
+        summary="original call site not rewritten to the wrapper",
+        description=(
+            "Outside the clones and the wrapper itself, no call to the "
+            "original kernel may survive weaving."
+        ),
+    ),
+    Rule(
+        id="WV105",
+        severity=Severity.ERROR,
+        summary="control variable not declared exactly once",
+        description=(
+            "__socrates_version and __socrates_num_threads must each be "
+            "declared exactly once at file scope."
+        ),
+    ),
+    Rule(
+        id="WV106",
+        severity=Severity.ERROR,
+        summary="mARGOt weave points missing or misordered",
+        description=(
+            "margot.h must be included, margot_init() must be the first "
+            "statement of main(), and every wrapper call must be surrounded "
+            "by margot_update/margot_start_monitor before and "
+            "margot_stop_monitor/margot_log after, in that order."
+        ),
+    ),
+]
+
+#: Rule registry keyed by id.
+RULES: Dict[str, Rule] = {rule.id: rule for rule in _RULE_LIST}

@@ -59,8 +59,10 @@ class LoopInfo:
         """Evaluate the loop trip count under macro environment ``env``.
 
         Handles the canonical Polybench shape ``for (i = L; i < U; i++)``
-        (also ``<=`` and non-unit additive steps).  Returns ``None``
-        when the bounds are not statically evaluable.
+        (also ``<=``/``>``/``>=``, non-unit additive steps and the
+        ``i = i + c`` step form).  Returns ``None`` when the bounds are
+        not statically evaluable or the step runs away from the bound
+        (a non-terminating loop under C semantics).
         """
         env = env or {}
         lower = _init_value(self.node.init, env)
@@ -73,14 +75,14 @@ class LoopInfo:
         step = _step_value(self.node.step, env)
         if step is None or step == 0:
             return None
-        if cond.op == "<":
-            span = upper - lower
-        elif cond.op == "<=":
-            span = upper - lower + 1
-        elif cond.op == ">":
-            span = lower - upper
-        elif cond.op == ">=":
-            span = lower - upper + 1
+        if cond.op in ("<", "<="):
+            if step < 0:
+                return None  # counts away from an upper bound: no trip count
+            span = upper - lower + (1 if cond.op == "<=" else 0)
+        elif cond.op in (">", ">="):
+            if step > 0:
+                return None  # counts away from a lower bound: no trip count
+            span = lower - upper + (1 if cond.op == ">=" else 0)
         else:
             return None
         step = abs(step)
@@ -98,16 +100,29 @@ def _init_value(init: Optional[ast.Stmt], env: Dict[str, int]) -> Optional[int]:
 
 
 def _step_value(step: Optional[ast.Expr], env: Dict[str, int]) -> Optional[int]:
+    """Signed per-iteration increment of the induction variable."""
     if isinstance(step, ast.UnaryOp) and step.op == "++":
         return 1
     if isinstance(step, ast.UnaryOp) and step.op == "--":
-        return 1  # magnitude; direction comes from the condition
+        return -1
     if isinstance(step, ast.Assign):
         if step.op == "+=":
             return eval_const(step.rhs, env)
         if step.op == "-=":
             value = eval_const(step.rhs, env)
-            return None if value is None else value
+            return None if value is None else -value
+        if (
+            step.op == "="
+            and isinstance(step.lhs, ast.Ident)
+            and isinstance(step.rhs, ast.BinOp)
+            and step.rhs.op in ("+", "-")
+            and isinstance(step.rhs.lhs, ast.Ident)
+            and step.rhs.lhs.name == step.lhs.name
+        ):
+            value = eval_const(step.rhs.rhs, env)
+            if value is None:
+                return None
+            return value if step.rhs.op == "+" else -value
     return None
 
 

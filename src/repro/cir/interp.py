@@ -131,10 +131,21 @@ class Interpreter:
         macro_overrides: Optional[Mapping[str, int]] = None,
         intrinsics: Optional[Mapping[str, Callable[..., Any]]] = None,
         max_steps: int = 20_000_000,
+        num_threads: int = 1,
+        threads_variable: str = "__socrates_num_threads",
     ) -> None:
+        """``num_threads`` is the simulated OpenMP team size reported by
+        ``omp_get_num_threads``/``omp_get_max_threads``; when the woven
+        ``threads_variable`` control variable exists (and is >= 1), its
+        current value wins, so interp-level checks of woven code see
+        the configuration mARGOt actually selected."""
+        if num_threads < 1:
+            raise InterpError(f"num_threads must be >= 1, got {num_threads}")
         if isinstance(units, ast.TranslationUnit):
             units = [units]
         self._units = list(units)
+        self._num_threads = num_threads
+        self._threads_variable = threads_variable
         self._functions: Dict[str, ast.FunctionDef] = {}
         self._globals = _Scope()
         self._macros: Dict[str, Any] = {}
@@ -206,6 +217,18 @@ class Interpreter:
             self._clock += 1e-6
             return self._clock
 
+        def _omp_threads() -> int:
+            # the woven control variable (set by margot_update) wins
+            # over the constructor-configured team size
+            if self._threads_variable and self._globals.has(self._threads_variable):
+                try:
+                    value = int(self._globals.get(self._threads_variable))
+                except (TypeError, ValueError):
+                    value = 0
+                if value >= 1:
+                    return value
+            return self._num_threads
+
         return {
             "sqrt": math.sqrt,
             "pow": math.pow,
@@ -221,7 +244,8 @@ class Interpreter:
             "fprintf": _fprintf,
             "printf": _printf,
             "omp_get_wtime": _wtime,
-            "omp_get_num_threads": lambda: 1,
+            "omp_get_num_threads": _omp_threads,
+            "omp_get_max_threads": _omp_threads,
             "omp_get_thread_num": lambda: 0,
         }
 

@@ -9,22 +9,63 @@ blank lines do not count.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cir import ast
 
 _INDENT = "  "
 
 
-class _Printer:
+class SourceMap:
+    """Node-id -> 1-based line numbers of one ``to_source`` rendering.
+
+    Statements, declarations and function signatures are recorded as
+    they are emitted; :meth:`line_of` resolves any node (including
+    sub-expressions) to the line of its nearest recorded ancestor once
+    :meth:`expand` has been called with the printed root.
+    """
+
     def __init__(self) -> None:
+        self._lines: Dict[int, int] = {}
+
+    def record(self, node: ast.Node, line: int) -> None:
+        self._lines.setdefault(id(node), line)
+
+    def line_of(self, node: ast.Node) -> Optional[int]:
+        return self._lines.get(id(node))
+
+    def expand(self, root: ast.Node) -> "SourceMap":
+        """Propagate statement lines down to every descendant node."""
+        from repro.cir.visitor import iter_child_nodes
+
+        def visit(node: ast.Node, current: Optional[int]) -> None:
+            line = self._lines.get(id(node))
+            if line is not None:
+                current = line
+            elif current is not None:
+                self._lines[id(node)] = current
+            for child in iter_child_nodes(node):
+                visit(child, current)
+
+        visit(root, None)
+        return self
+
+
+class _Printer:
+    def __init__(self, source_map: Optional[SourceMap] = None) -> None:
         self._lines: List[str] = []
         self._depth = 0
+        self._map = source_map
 
     # -- helpers ------------------------------------------------------------
 
     def _emit(self, text: str) -> None:
         self._lines.append(_INDENT * self._depth + text)
+
+    def _mark(self, node: ast.Node) -> None:
+        """Record that ``node``'s text starts on the next emitted line."""
+        if self._map is not None:
+            self._map.record(node, len(self._lines) + 1)
 
     def render(self, node: ast.Node) -> str:
         self._print_node(node)
@@ -33,6 +74,8 @@ class _Printer:
     # -- top level ------------------------------------------------------------
 
     def _print_node(self, node: ast.Node) -> None:
+        if not isinstance(node, (ast.TranslationUnit, ast.FunctionDef, ast.Stmt)):
+            self._mark(node)
         if isinstance(node, ast.TranslationUnit):
             for index, decl in enumerate(node.decls):
                 if index and isinstance(decl, (ast.FunctionDef, ast.FunctionDecl)):
@@ -48,9 +91,11 @@ class _Printer:
             self._emit(f"typedef {node.type} {node.name};")
         elif isinstance(node, ast.FunctionDef):
             for pragma in node.pragmas:
+                self._mark(pragma)
                 self._emit(f"#pragma {pragma.text}")
             storage = " ".join(node.storage)
             prefix = storage + " " if storage else ""
+            self._mark(node)
             self._emit(f"{prefix}{node.return_type} {node.name}({self._params(node.params)})")
             self._print_block(node.body)
         elif isinstance(node, ast.FunctionDecl):
@@ -93,6 +138,8 @@ class _Printer:
             self._depth -= 1
 
     def _print_stmt(self, stmt: ast.Stmt) -> None:
+        if not isinstance(stmt, ast.Block):
+            self._mark(stmt)
         if isinstance(stmt, ast.Block):
             self._print_block(stmt)
         elif isinstance(stmt, ast.ExprStmt):
@@ -275,6 +322,18 @@ def expr_to_source(expr: Optional[ast.Expr]) -> str:
 def to_source(node: ast.Node) -> str:
     """Render any AST node (usually a TranslationUnit) to C source text."""
     return _Printer().render(node)
+
+
+def to_source_with_map(node: ast.Node) -> "tuple[str, SourceMap]":
+    """Render to C text and return the expanded node -> line map.
+
+    Every node of the subtree (including sub-expressions) resolves to
+    the 1-based line of the statement that prints it; this is what the
+    static-analysis diagnostics use for locations.
+    """
+    source_map = SourceMap()
+    text = _Printer(source_map).render(node)
+    return text, source_map.expand(node)
 
 
 # ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@ Subcommands cover the whole reproduction workflow:
 ``weave``        weave a benchmark and print the adaptive source + metrics
 ``build``        run the full toolflow; optionally save the oplist/source
 ``trace``        run a runtime scenario from a JSON mARGOt configuration
+``check``        static analysis: OpenMP race lint + weave verification
 ``obs``          export/validate/diff traces, metrics dumps; live dashboard
 ``bench``        performance observatory: baselines and the regression gate
 ``table1``       regenerate Table I
@@ -348,6 +349,56 @@ def cmd_run(args: argparse.Namespace) -> int:
         if isinstance(value, np.ndarray):
             print(f"  {decl_name}: shape={value.shape} checksum={float(np.sum(value)):.6f}")
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Static analysis: race lint + weave verifier, exit 0/2/3.
+
+    ``socrates check 2mm`` lints one benchmark (pristine + woven);
+    ``--all`` covers the whole suite; ``--source FILE`` lints an
+    arbitrary C file (race rules only).  ``--json``/``--sarif`` emit a
+    machine-readable document, to stdout or ``--out FILE``.
+    """
+    import json
+
+    from repro.analysis import CheckReport, check_apps, check_source_text
+
+    include_woven = not args.pristine_only
+    if args.source:
+        with open(args.source) as handle:
+            text = handle.read()
+        report = CheckReport()
+        report.extend(check_source_text(text, filename=args.source), units=1)
+    elif getattr(args, "all", False):
+        from repro.polybench.suite import all_apps
+
+        report = check_apps(all_apps(), include_woven=include_woven)
+    elif args.app:
+        report = check_apps([_load_app(args.app)], include_woven=include_woven)
+    else:
+        print(
+            "error: name a benchmark, or use --all / --source FILE",
+            file=sys.stderr,
+        )
+        return 2
+
+    document = None
+    if args.json:
+        document = report.as_dict()
+    elif args.sarif:
+        document = report.as_sarif()
+    if document is not None:
+        rendered = json.dumps(document, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(rendered + "\n")
+        else:
+            print(rendered)
+    else:
+        for diag in report.diagnostics:
+            print(diag.format())
+        print(report.summary())
+    return report.exit_code
 
 
 def cmd_obs_export(args: argparse.Namespace) -> int:
@@ -924,6 +975,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write parse/weave/interpret spans as Chrome trace_event JSON",
     )
     p.set_defaults(func=cmd_run)
+
+    p = subparsers.add_parser(
+        "check",
+        help="static analysis: OpenMP race lint + weave verification (exit 0/2/3)",
+    )
+    p.add_argument(
+        "app", nargs="?", help="benchmark name (see `socrates list`)"
+    )
+    p.add_argument(
+        "--all", action="store_true", help="check every benchmark in the suite"
+    )
+    p.add_argument(
+        "--source", metavar="FILE", help="lint an arbitrary C file (race rules only)"
+    )
+    p.add_argument(
+        "--pristine-only",
+        action="store_true",
+        help="skip the weave + weave-verifier pass",
+    )
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--json", action="store_true", help="emit one JSON report document"
+    )
+    fmt.add_argument(
+        "--sarif", action="store_true", help="emit a SARIF 2.1.0 document"
+    )
+    p.add_argument("--out", help="write the JSON/SARIF document to this file")
+    p.set_defaults(func=cmd_check)
 
     p = subparsers.add_parser(
         "obs", help="observability: export and validate traces/metrics/audits"

@@ -42,6 +42,10 @@ from repro.polybench.apps.base import BenchmarkApp
 from repro.polybench.workload import WorkloadProfile
 
 
+class WeaveVerificationError(ValueError):
+    """The woven unit failed the post-weave structural verification."""
+
+
 @dataclass
 class ToolflowResult:
     """Everything the pipeline produced for one application."""
@@ -55,6 +59,7 @@ class ToolflowResult:
     exploration: ExplorationResult
     adaptive: AdaptiveApplication
     stage_events: List[StageEvent] = field(default_factory=list)
+    check_diagnostics: List[object] = field(default_factory=list)
 
     def stage_report(self) -> Dict[str, object]:
         """JSON-able per-stage telemetry of the build (wall time, cache
@@ -207,6 +212,7 @@ class SocratesToolflow:
             configs = standard_levels() + custom
             with recorder.stage("weave"):
                 report, weaver = weave_benchmark(app, configs)
+                check_diagnostics = self._verify_weave(app, weaver)
             with recorder.stage("profile"):
                 exploration = self._profile(app, configs, dse_strategy)
             with recorder.stage("assemble"):
@@ -221,9 +227,57 @@ class SocratesToolflow:
             exploration=exploration,
             adaptive=adaptive,
             stage_events=recorder.events,
+            check_diagnostics=check_diagnostics,
         )
 
     # -- stages ------------------------------------------------------------------
+
+    def _verify_weave(self, app: BenchmarkApp, weaver: Weaver):
+        """Post-weave gate: hard error on structural violations.
+
+        Runs the full static check (race lint + weave verifier) over
+        the woven unit.  Error-severity diagnostics raise
+        :class:`WeaveVerificationError`; warnings are surfaced through
+        the observability layer as
+        ``socrates_check_diagnostics_total{rule=...}`` counters and
+        audit check traces.
+        """
+        from repro.analysis import Severity, check_unit
+
+        diagnostics = check_unit(
+            weaver.unit,
+            filename=f"{app.name}.weaved.c",
+            phase="woven",
+            plan=weaver.plan,
+        )
+        for diag in diagnostics:
+            self._obs.metrics.counter(
+                "socrates_check_diagnostics_total",
+                "Static-analysis diagnostics emitted by the post-weave gate",
+                labels={"rule": diag.rule},
+            ).inc()
+            if self._obs.audit is not None:
+                from repro.obs import CheckTrace
+
+                self._obs.audit.record_check(
+                    CheckTrace(
+                        app=app.name,
+                        rule=diag.rule,
+                        severity=diag.severity.value,
+                        message=diag.message,
+                        location=diag.location,
+                    )
+                )
+        errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+        if errors:
+            details = "; ".join(
+                f"[{d.rule}] {d.message} at {d.location}" for d in errors[:5]
+            )
+            raise WeaveVerificationError(
+                f"weave verification failed for {app.name!r} with "
+                f"{len(errors)} structural violation(s): {details}"
+            )
+        return diagnostics
 
     def _characterize(self, app: BenchmarkApp) -> FeatureVector:
         return self._engine.features(app)

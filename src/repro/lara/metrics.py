@@ -26,7 +26,7 @@ from repro.cir import logical_lines, to_source
 from repro.gcc.flags import FlagConfiguration
 from repro.lara.strategies.autotuner import AutotunerStrategy
 from repro.lara.strategies.multiversioning import MultiversioningStrategy, VersionSpec
-from repro.lara.weaver import Weaver
+from repro.lara.weaver import WeavePlan, Weaver
 from repro.machine.openmp import BindingPolicy
 from repro.polybench.apps.base import BenchmarkApp
 
@@ -130,6 +130,7 @@ def weave_benchmark(
 
     autotuner = AutotunerStrategy()
     autotuner.apply(weaver, [result.wrapper for result in mv_results.values()])
+    weaver.plan = WeavePlan(kernels=list(mv_results.values()))
 
     weaved_loc = logical_lines(weaver.unit)
     lines = strategy_lines if strategy_lines is not None else strategy_loc()

@@ -26,12 +26,17 @@ from repro.lara.strategies.multiversioning import (
 )
 from repro.lara.weaver import Weaver
 
-MARGOT_HEADER = "margot.h"
-INIT_CALL = "margot_init"
-UPDATE_CALL = "margot_update"
-START_MONITOR_CALL = "margot_start_monitor"
-STOP_MONITOR_CALL = "margot_stop_monitor"
-LOG_CALL = "margot_log"
+# The weave-point contract lives in repro.margot.weavepoints so the
+# weave verifier checks exactly what this strategy inserts; the names
+# are re-exported here for backwards compatibility.
+from repro.margot.weavepoints import (
+    INIT_CALL,
+    LOG_CALL,
+    MARGOT_HEADER,
+    START_MONITOR_CALL,
+    STOP_MONITOR_CALL,
+    UPDATE_CALL,
+)
 
 
 @dataclass

@@ -37,6 +37,26 @@ class WeavingMetrics:
     actions_performed: int = 0
 
 
+@dataclass
+class WeavePlan:
+    """What a full weaving run promised to produce.
+
+    ``kernels`` holds one
+    :class:`~repro.lara.strategies.multiversioning.MultiversioningResult`
+    per woven kernel; ``main`` names the entry function the Autotuner
+    strategy instrumented.  The weave verifier
+    (:mod:`repro.analysis.weavecheck`) checks the woven unit against
+    this plan.
+    """
+
+    kernels: List[object] = field(default_factory=list)
+    main: str = "main"
+
+    @property
+    def wrappers(self) -> List[str]:
+        return [result.wrapper for result in self.kernels]
+
+
 class WeaveError(RuntimeError):
     """Raised when a strategy asks for an impossible transformation."""
 
@@ -47,6 +67,8 @@ class Weaver:
     def __init__(self, unit: TranslationUnit) -> None:
         self.unit = unit
         self.metrics = WeavingMetrics()
+        #: Set by full weaving runs (see :func:`repro.lara.metrics.weave_benchmark`).
+        self.plan: Optional[WeavePlan] = None
 
     # -- metric hooks ---------------------------------------------------------
 

@@ -1,0 +1,65 @@
+"""mARGOt weave-point metadata.
+
+The single source of truth for what the Autotuner strategy inserts
+into a woven application and what the weave verifier later checks:
+the ``margot.h`` include, the ``margot_init()`` call at the entry of
+``main``, and — around every wrapper call site — the exact statement
+order::
+
+    margot_update(&__socrates_version, &__socrates_num_threads);
+    margot_start_monitor();
+    kernel__wrapper(...);
+    margot_stop_monitor();
+    margot_log();
+
+``CALL_SITE_PRELUDE``/``CALL_SITE_POSTLUDE`` list the calls required
+immediately before/after the wrapper call, nearest-first relative to
+the call (``START_MONITOR`` directly above it, ``STOP_MONITOR``
+directly below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+MARGOT_HEADER = "margot.h"
+INIT_CALL = "margot_init"
+UPDATE_CALL = "margot_update"
+START_MONITOR_CALL = "margot_start_monitor"
+STOP_MONITOR_CALL = "margot_stop_monitor"
+LOG_CALL = "margot_log"
+
+
+@dataclass(frozen=True)
+class WeavePoint:
+    """One mandatory mARGOt insertion, as checkable metadata."""
+
+    call: str
+    placement: str  # human-readable contract, used in diagnostics
+
+
+INIT_POINT = WeavePoint(
+    call=INIT_CALL, placement="first statement of main()"
+)
+
+#: Calls required directly before a wrapper call, nearest-first.
+CALL_SITE_PRELUDE: Tuple[WeavePoint, ...] = (
+    WeavePoint(call=START_MONITOR_CALL, placement="directly before the wrapper call"),
+    WeavePoint(call=UPDATE_CALL, placement="two statements before the wrapper call"),
+)
+
+#: Calls required directly after a wrapper call, nearest-first.
+CALL_SITE_POSTLUDE: Tuple[WeavePoint, ...] = (
+    WeavePoint(call=STOP_MONITOR_CALL, placement="directly after the wrapper call"),
+    WeavePoint(call=LOG_CALL, placement="two statements after the wrapper call"),
+)
+
+#: The full per-call-site statement sequence, in source order.
+CALL_SITE_SEQUENCE: Tuple[str, ...] = (
+    UPDATE_CALL,
+    START_MONITOR_CALL,
+    "<wrapper call>",
+    STOP_MONITOR_CALL,
+    LOG_CALL,
+)

@@ -35,6 +35,7 @@ from repro.obs.audit import (
     AdaptationAuditLog,
     AdaptationEntry,
     CandidateTrace,
+    CheckTrace,
     ConstraintTrace,
     compose_reason,
     describe_rank,
@@ -55,6 +56,7 @@ __all__ = [
     "AdaptationAuditLog",
     "AdaptationEntry",
     "CandidateTrace",
+    "CheckTrace",
     "ConstraintTrace",
     "Counter",
     "DEFAULT_SIZE_BUCKETS",

@@ -54,6 +54,34 @@ class CandidateTrace:
         return {"knobs": dict(self.knobs), "rank_value": self.rank_value}
 
 
+@dataclass(frozen=True)
+class CheckTrace:
+    """One static-analysis diagnostic surfaced through the audit log.
+
+    Kept separate from the adaptation entries (and from
+    :meth:`AdaptationAuditLog.as_dicts`) so the adaptation JSONL
+    schema and its validators are unaffected; ``checks_as_dicts``
+    exposes them for reporting.
+    """
+
+    app: str
+    rule: str
+    severity: str
+    message: str
+    location: str
+    phase: str = "woven"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "app": self.app,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+            "phase": self.phase,
+        }
+
+
 @dataclass
 class AdaptationEntry:
     """One explained operating-point switch."""
@@ -149,6 +177,7 @@ class AdaptationAuditLog:
             raise ValueError("max_candidates must be >= 1")
         self._max_candidates = max_candidates
         self._entries: List[AdaptationEntry] = []
+        self._checks: List[CheckTrace] = []
 
     @property
     def max_candidates(self) -> int:
@@ -177,3 +206,16 @@ class AdaptationAuditLog:
 
     def as_dicts(self) -> List[Dict[str, object]]:
         return [entry.as_dict() for entry in self._entries]
+
+    # -- static-analysis check traces -----------------------------------------
+
+    @property
+    def checks(self) -> List[CheckTrace]:
+        return list(self._checks)
+
+    def record_check(self, trace: CheckTrace) -> CheckTrace:
+        self._checks.append(trace)
+        return trace
+
+    def checks_as_dicts(self) -> List[Dict[str, object]]:
+        return [trace.as_dict() for trace in self._checks]

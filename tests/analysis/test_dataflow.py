@@ -1,0 +1,204 @@
+"""Tests for the CIR dataflow layer (repro.cir.dataflow)."""
+
+import pytest
+
+from repro.cir import ast, parse
+from repro.cir.dataflow import (
+    READ,
+    WRITE,
+    classify_sharing,
+    collect_accesses,
+    declared_names,
+    def_use_chains,
+    is_parallel_for_pragma,
+    parallel_regions,
+    parse_omp_clauses,
+    references_variable,
+    ReachingDefinitions,
+)
+
+
+def _func(body: str, params: str = "int n", name: str = "f") -> ast.FunctionDef:
+    return parse(f"void {name}({params}) {{\n{body}\n}}").function(name)
+
+
+class TestCollectAccesses:
+    def test_simple_assign(self):
+        func = _func("x = y + 1;", params="int x, int y")
+        accesses = collect_accesses(func.body)
+        kinds = [(a.name, a.kind) for a in accesses]
+        assert ("y", READ) in kinds
+        assert ("x", WRITE) in kinds
+        write = next(a for a in accesses if a.kind == WRITE)
+        assert write.op == "=" and not write.compound
+
+    def test_compound_assign_reads_and_writes(self):
+        func = _func("x += y;", params="int x, int y")
+        accesses = collect_accesses(func.body)
+        x_accesses = [a for a in accesses if a.name == "x"]
+        assert [a.kind for a in x_accesses] == [READ, WRITE]
+        assert all(a.compound for a in x_accesses)
+        assert x_accesses[1].op == "+="
+
+    def test_increment(self):
+        func = _func("n++;")
+        accesses = collect_accesses(func.body)
+        assert [(a.name, a.kind) for a in accesses] == [("n", READ), ("n", WRITE)]
+        assert accesses[1].op == "++"
+
+    def test_array_write_keeps_subscripts(self):
+        func = _func("A[i][j] = 0;", params="int i, int j")
+        write = [a for a in collect_accesses(func.body) if a.kind == WRITE][0]
+        assert write.name == "A" and write.is_array
+        assert len(write.indices) == 2
+        # subscripts themselves are reads
+        reads = {a.name for a in collect_accesses(func.body) if a.kind == READ}
+        assert {"i", "j"} <= reads
+
+    def test_call_name_is_not_an_access(self):
+        func = _func("g(x);", params="int x")
+        names = {a.name for a in collect_accesses(func.body)}
+        assert names == {"x"}
+
+    def test_decl_with_init_is_a_write(self):
+        func = _func("int t = n;")
+        accesses = collect_accesses(func.body)
+        assert ("t", WRITE) in [(a.name, a.kind) for a in accesses]
+
+    def test_sizeof_operand_not_evaluated(self):
+        func = _func("n = sizeof(x);", params="int x")
+        names = {a.name for a in collect_accesses(func.body) if a.kind == READ}
+        assert "x" not in names
+
+
+class TestDeclaredNames:
+    def test_nested_decls_found(self):
+        func = _func("int a; { int b; for (a = 0; a < n; a++) { int c; } }")
+        assert {"a", "b", "c"} <= declared_names(func.body)
+
+
+class TestReachingDefinitions:
+    def test_straight_line(self):
+        func = _func("int x = 1; n = x;")
+        rd = ReachingDefinitions(func)
+        use = [a for a in collect_accesses(func.body) if a.name == "x" and a.kind == READ][0]
+        defs = rd.definitions_reaching(use.node)
+        assert len(defs) == 1 and defs[0].name == "x"
+
+    def test_branch_joins_definitions(self):
+        func = _func("int x = 1; if (n) x = 2; n = x;")
+        rd = ReachingDefinitions(func)
+        reads = [a for a in collect_accesses(func.body) if a.name == "x" and a.kind == READ]
+        defs = rd.definitions_reaching(reads[-1].node)
+        assert len(defs) == 2  # both the init and the then-branch write
+
+    def test_loop_carried_definition_reaches_body_use(self):
+        func = _func("int s = 0; int i; for (i = 0; i < n; i++) s = s + i; n = s;")
+        rd = ReachingDefinitions(func)
+        reads = [a for a in collect_accesses(func.body) if a.name == "s" and a.kind == READ]
+        body_read = reads[0]
+        defs = {id(d.node) for d in rd.definitions_reaching(body_read.node)}
+        # the in-loop write must reach the in-loop read (fixpoint)
+        assert len(defs) == 2
+
+    def test_def_use_chains(self):
+        func = _func("int x = 1; n = x; n = x;")
+        chains = def_use_chains(func)
+        decl = func.body.stmts[0]
+        assert len(chains.uses_of(decl)) >= 2
+
+
+class TestOmpClauses:
+    def test_full_clause_set(self):
+        clauses = parse_omp_clauses(
+            "omp parallel for private(i, j) firstprivate(a) lastprivate(b) "
+            "shared(A) reduction(+:s) num_threads(__socrates_num_threads) "
+            "proc_bind(close) schedule(static)"
+        )
+        assert clauses.private == frozenset({"i", "j"})
+        assert clauses.firstprivate == frozenset({"a"})
+        assert clauses.lastprivate == frozenset({"b"})
+        assert clauses.shared == frozenset({"A"})
+        assert clauses.reductions == (("+", "s"),)
+        assert clauses.num_threads == "__socrates_num_threads"
+        assert clauses.proc_bind == "close"
+        assert clauses.schedule == "static"
+        assert clauses.privatized == frozenset({"i", "j", "a", "b", "s"})
+
+    def test_malformed_reduction_skipped(self):
+        clauses = parse_omp_clauses("omp parallel for reduction(s)")
+        assert clauses.reductions == ()
+
+    def test_is_parallel_for(self):
+        assert is_parallel_for_pragma(ast.Pragma(text="omp parallel for"))
+        assert not is_parallel_for_pragma(ast.Pragma(text="omp parallel"))
+        assert not is_parallel_for_pragma(ast.Pragma(text="GCC optimize (\"O2\")"))
+        # "for" must be a whole word
+        assert not is_parallel_for_pragma(ast.Pragma(text="omp parallel forward"))
+
+
+class TestParallelRegions:
+    SRC = """
+    void k(int n) {
+      int i;
+      int j;
+      #pragma omp parallel for private(j)
+      for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+          A[i][j] = i + j;
+    }
+    """
+
+    def test_region_found_with_loop(self):
+        func = parse(self.SRC).function("k")
+        regions = parallel_regions(func)
+        assert len(regions) == 1
+        assert regions[0].loop is not None
+        assert regions[0].clauses.private == frozenset({"j"})
+
+    def test_orphan_pragma_has_no_loop(self):
+        func = _func("#pragma omp parallel for\n n = 1;")
+        regions = parallel_regions(func)
+        assert len(regions) == 1 and regions[0].loop is None
+
+
+class TestClassifySharing:
+    def test_induction_and_locals_are_private(self):
+        func = parse(TestParallelRegions.SRC).function("k")
+        report = classify_sharing(parallel_regions(func)[0])
+        assert report.induction == "i"
+        assert "i" in report.privatized and "j" in report.privatized
+        # A is written with an induction-indexed subscript but still shared
+        assert report.is_shared("A")
+        assert any(a.name == "A" for a in report.shared_writes)
+
+    def test_shared_scalar_write_detected(self):
+        func = _func(
+            "int i; double s = 0.0;\n"
+            "#pragma omp parallel for\n"
+            "for (i = 0; i < n; i++) s = s + i;"
+        )
+        report = classify_sharing(parallel_regions(func)[0])
+        writes = [a for a in report.shared_writes if a.name == "s"]
+        assert writes and not writes[0].is_array
+
+    def test_reduction_clause_privatizes(self):
+        func = _func(
+            "int i; double s = 0.0;\n"
+            "#pragma omp parallel for reduction(+:s)\n"
+            "for (i = 0; i < n; i++) s = s + i;"
+        )
+        report = classify_sharing(parallel_regions(func)[0])
+        assert not any(a.name == "s" for a in report.shared_writes)
+
+    def test_region_without_loop_returns_none(self):
+        func = _func("#pragma omp parallel for\n n = 1;")
+        assert classify_sharing(parallel_regions(func)[0]) is None
+
+
+class TestReferencesVariable:
+    def test_positive_and_negative(self):
+        func = _func("x = a[i] + 1;", params="int i, int x")
+        expr = func.body.stmts[0].expr.rhs
+        assert references_variable(expr, "i")
+        assert not references_variable(expr, "j")

@@ -1,0 +1,274 @@
+"""Tests for the OpenMP race detector (rules OMP001-OMP004)."""
+
+import pytest
+
+from repro.analysis import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
+    CheckReport,
+    Severity,
+    check_source_text,
+    check_unit,
+)
+from repro.analysis.checker import (
+    apply_suppressions,
+    collect_suppressions,
+    parse_suppress_pragma,
+)
+from repro.cir import parse
+
+
+def _rules(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+class TestRaceRules:
+    def test_shared_scalar_write_is_omp001_error(self):
+        diags = check_source_text(
+            """
+            void k(int n) {
+              int i;
+              double s = 0.0;
+              #pragma omp parallel for
+              for (i = 0; i < n; i++)
+                s = s + i;
+            }
+            """,
+            filename="race.c",
+        )
+        assert _rules(diags) == ["OMP001"]
+        diag = diags[0]
+        assert diag.severity is Severity.ERROR
+        assert diag.function == "k"
+        assert diag.file == "race.c" and diag.line is not None
+        assert "reduction(+:s)" in diag.hint
+
+    def test_scratch_scalar_hint_suggests_private(self):
+        diags = check_source_text(
+            """
+            void k(int n) {
+              int i;
+              double t;
+              #pragma omp parallel for
+              for (i = 0; i < n; i++)
+                t = i * 2;
+            }
+            """
+        )
+        assert _rules(diags) == ["OMP001"]
+        assert "private(t)" in diags[0].hint
+
+    def test_reduction_clause_silences_omp001(self):
+        diags = check_source_text(
+            """
+            void k(int n) {
+              int i;
+              double s = 0.0;
+              #pragma omp parallel for reduction(+:s)
+              for (i = 0; i < n; i++)
+                s = s + i;
+            }
+            """
+        )
+        assert diags == []
+
+    def test_array_write_without_induction_subscript_is_omp002(self):
+        diags = check_source_text(
+            """
+            double A[10][10];
+            void k(int n) {
+              int i;
+              int j;
+              #pragma omp parallel for private(j)
+              for (i = 0; i < n; i++)
+                for (j = 0; j < n; j++)
+                  A[0][j] = A[0][j] + 1.0;
+            }
+            """
+        )
+        assert _rules(diags) == ["OMP002"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_induction_indexed_array_write_is_clean(self):
+        diags = check_source_text(
+            """
+            double A[10][10];
+            void k(int n) {
+              int i;
+              int j;
+              #pragma omp parallel for private(j)
+              for (i = 0; i < n; i++)
+                for (j = 0; j < n; j++)
+                  A[i][j] = i + j;
+            }
+            """
+        )
+        assert diags == []
+
+    def test_orphan_pragma_is_omp003(self):
+        diags = check_source_text(
+            """
+            void k(int n) {
+              #pragma omp parallel for
+              n = n + 1;
+            }
+            """
+        )
+        assert _rules(diags) == ["OMP003"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_unrecognized_induction_is_omp004(self):
+        diags = check_source_text(
+            """
+            void k(int n) {
+              int i;
+              i = 0;
+              #pragma omp parallel for
+              for (; i < n; i++)
+                n = n;
+            }
+            """
+        )
+        # empty loop init defeats the induction analysis
+        assert "OMP004" in _rules(diags)
+
+    def test_one_diagnostic_per_variable(self):
+        diags = check_source_text(
+            """
+            void k(int n) {
+              int i;
+              double s;
+              #pragma omp parallel for
+              for (i = 0; i < n; i++) {
+                s = s + 1.0;
+                s = s + 2.0;
+              }
+            }
+            """
+        )
+        assert _rules(diags) == ["OMP001"]
+
+
+class TestSuppression:
+    RACY = """
+    void k(int n) {{
+      int i;
+      double s = 0.0;
+      {suppress}
+      #pragma omp parallel for
+      for (i = 0; i < n; i++)
+        s = s + i;
+    }}
+    """
+
+    def test_parse_suppress_pragma(self):
+        assert parse_suppress_pragma("socrates suppress(OMP001)") == frozenset(
+            {"OMP001"}
+        )
+        assert parse_suppress_pragma("socrates suppress(omp001, WV104)") == frozenset(
+            {"OMP001", "WV104"}
+        )
+        assert parse_suppress_pragma("omp parallel for") is None
+
+    def test_statement_suppression_covers_pragma_loop_pair(self):
+        src = self.RACY.format(suppress="#pragma socrates suppress(OMP001)")
+        assert check_source_text(src) == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = self.RACY.format(suppress="#pragma socrates suppress(OMP002)")
+        assert _rules(check_source_text(src)) == ["OMP001"]
+
+    def test_function_level_suppression(self):
+        src = """
+        #pragma socrates suppress(OMP001)
+        void k(int n) {
+          int i;
+          double s = 0.0;
+          #pragma omp parallel for
+          for (i = 0; i < n; i++)
+            s = s + i;
+        }
+        """
+        assert check_source_text(src) == []
+
+    def test_collect_suppressions_finds_spans(self):
+        src = self.RACY.format(suppress="#pragma socrates suppress(OMP001)")
+        spans = collect_suppressions(parse(src))
+        assert len(spans) == 1
+        _, rules = spans[0]
+        assert rules == frozenset({"OMP001"})
+
+
+class TestExitCodes:
+    def test_report_exit_codes(self):
+        report = CheckReport()
+        assert report.exit_code == EXIT_CLEAN
+        warn = check_source_text(
+            """
+            double A[10];
+            void k(int n) {
+              int i;
+              int j;
+              #pragma omp parallel for private(j)
+              for (i = 0; i < n; i++)
+                for (j = 0; j < n; j++)
+                  A[0] = 1.0;
+            }
+            """
+        )
+        report.extend(warn, units=1)
+        assert report.exit_code == EXIT_WARNINGS
+        err = check_source_text(
+            """
+            void k(int n) {
+              int i;
+              double s;
+              #pragma omp parallel for
+              for (i = 0; i < n; i++)
+                s = s + 1.0;
+            }
+            """
+        )
+        report.extend(err, units=1)
+        assert report.exit_code == EXIT_ERRORS
+        assert "1 error(s)" in report.summary()
+
+    def test_as_dict_and_sarif_shape(self):
+        report = CheckReport()
+        report.extend(
+            check_source_text(
+                """
+                void k(int n) {
+                  int i;
+                  double s;
+                  #pragma omp parallel for
+                  for (i = 0; i < n; i++)
+                    s = s + 1.0;
+                }
+                """,
+                filename="x.c",
+            ),
+            units=1,
+        )
+        doc = report.as_dict()
+        assert doc["format"] == 1 and doc["errors"] == 1
+        assert doc["diagnostics"][0]["rule"] == "OMP001"
+        sarif = report.as_sarif()
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "socrates-check"
+        assert run["results"][0]["ruleId"] == "OMP001"
+        assert run["results"][0]["level"] == "error"
+        rule_meta = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_meta == {"OMP001"}
+
+
+class TestSuiteIsClean:
+    @pytest.mark.parametrize("name", ["2mm", "mvt", "correlation"])
+    def test_pristine_sources_have_no_errors(self, name):
+        from repro.polybench.suite import load
+
+        app = load(name)
+        diags = check_unit(app.parse(), filename=f"{name}.c")
+        assert [d for d in diags if d.severity is Severity.ERROR] == []

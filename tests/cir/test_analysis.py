@@ -52,6 +52,35 @@ class TestEvalConst:
         assert eval_const(expr, {"N": 10}) == 9
         assert eval_const(expr, {}) is None
 
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            # C division/modulo truncate toward zero / follow the dividend
+            ("-7 / 2", -3),
+            ("7 / -2", -3),
+            ("-7 % 2", -1),
+            ("7 % -2", 1),
+            ("-(3 + 4)", -7),
+            ("+5", 5),
+            ("-(-5)", 5),
+        ],
+    )
+    def test_signed_division_and_unary(self, text, expected):
+        unit = parse(f"void f(void) {{ x = {text}; }}")
+        expr = unit.function("f").body.stmts[0].expr.rhs
+        assert eval_const(expr) == expected
+
+    @pytest.mark.parametrize("text", ["1 / 0", "1 % 0", "-UNKNOWN", "UNKNOWN + 1"])
+    def test_unresolvable_returns_none(self, text):
+        unit = parse(f"void f(void) {{ x = {text}; }}")
+        expr = unit.function("f").body.stmts[0].expr.rhs
+        assert eval_const(expr) is None
+
+    def test_env_resolves_through_unary_minus(self):
+        unit = parse("void f(void) { x = -M; }")
+        expr = unit.function("f").body.stmts[0].expr.rhs
+        assert eval_const(expr, {"M": 6}) == -6
+
 
 class TestLoopCollection:
     def test_nesting_depths(self):
@@ -121,6 +150,44 @@ class TestTripCount:
         loops = loops_of("void f(int n) { int i; for (i = 2; i < 10; i++) x = 1; }")
         assert loops[0].bounds() == (2, 10)
         assert loops[0].midpoint() == 6
+
+    def test_stride_two_inclusive(self):
+        loops = loops_of("void f(int n) { int i; for (i = 0; i <= n; i += 2) x = 1; }")
+        assert loops[0].trip_count({"n": 8}) == 5
+
+    def test_downward_stride_two(self):
+        loops = loops_of("void f(int n) { int i; for (i = n; i > 0; i -= 2) x = 1; }")
+        assert loops[0].trip_count({"n": 8}) == 4
+
+    def test_assign_form_step(self):
+        loops = loops_of(
+            "void f(int n) { int i; for (i = 0; i < n; i = i + 3) x = 1; }"
+        )
+        assert loops[0].trip_count({"n": 10}) == 4
+
+    def test_assign_form_downward(self):
+        loops = loops_of(
+            "void f(int n) { int i; for (i = n; i > 0; i = i - 3) x = 1; }"
+        )
+        assert loops[0].trip_count({"n": 9}) == 3
+
+    def test_direction_mismatch_returns_none(self):
+        # counts away from the bound: non-terminating, not a trip count
+        loops = loops_of("void f(int n) { int i; for (i = 0; i < n; i -= 1) x = 1; }")
+        assert loops[0].trip_count({"n": 10}) is None
+        loops = loops_of("void f(int n) { int i; for (i = n; i > 0; i += 1) x = 1; }")
+        assert loops[0].trip_count({"n": 10}) is None
+
+    def test_zero_step_returns_none(self):
+        loops = loops_of("void f(int n) { int i; for (i = 0; i < n; i += 0) x = 1; }")
+        assert loops[0].trip_count({"n": 10}) is None
+
+    def test_macro_valued_step(self):
+        loops = loops_of(
+            "void f(int n) { int i; for (i = 0; i < n; i += S) x = 1; }"
+        )
+        assert loops[0].trip_count({"n": 10, "S": 5}) == 2
+        assert loops[0].trip_count({"n": 10}) is None
 
 
 class TestCensus:

@@ -38,11 +38,20 @@ class TestParser:
             ["bench", "compare", "--baseline-dir", "b", "--json"],
             ["obs", "diff", "a.json", "b.json", "--limit", "5"],
             ["obs", "top", "--from", "m.prom", "--once"],
+            ["check", "2mm"],
+            ["check", "--all", "--json", "--out", "check.json"],
+            ["check", "--all", "--sarif"],
+            ["check", "--source", "file.c"],
+            ["check", "mvt", "--pristine-only"],
         ],
     )
     def test_valid_invocations_parse(self, argv):
         args = build_parser().parse_args(argv)
         assert callable(args.func)
+
+    def test_check_json_and_sarif_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--all", "--json", "--sarif"])
 
 
 class TestCommands:
@@ -240,6 +249,88 @@ class TestRunCommand:
             line = next(l for l in out.splitlines() if l.strip().startswith("x1:"))
             checksums.append(line.split("checksum=")[1])
         assert checksums[0] == checksums[1]
+
+
+CLEAN_C = "int main() {\n  return 0;\n}\n"
+
+WARN_C = """\
+double A[10][10];
+void k(int n) {
+  int i;
+  int j;
+  #pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      A[0][j] = A[0][j] + 1.0;
+}
+"""
+
+ERR_C = """\
+void k(int n) {
+  int i;
+  double s = 0.0;
+  #pragma omp parallel for
+  for (i = 0; i < n; i++)
+    s = s + 1.0;
+}
+"""
+
+
+class TestCheckCommand:
+    """The exit-code contract: 0 clean / 2 warnings-only / 3 errors."""
+
+    def _lint(self, tmp_path, name, text, extra=()):
+        path = tmp_path / name
+        path.write_text(text)
+        return main(["check", "--source", str(path), *extra])
+
+    def test_clean_source_exits_0(self, tmp_path, capsys):
+        assert self._lint(tmp_path, "clean.c", CLEAN_C) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_warning_source_exits_2(self, tmp_path, capsys):
+        assert self._lint(tmp_path, "warn.c", WARN_C) == 2
+        out = capsys.readouterr().out
+        assert "[OMP002]" in out and "warning" in out
+
+    def test_error_source_exits_3(self, tmp_path, capsys):
+        assert self._lint(tmp_path, "err.c", ERR_C) == 3
+        out = capsys.readouterr().out
+        assert "[OMP001]" in out and "error" in out
+        assert "hint:" in out
+
+    def test_json_document(self, tmp_path, capsys):
+        assert self._lint(tmp_path, "err.c", ERR_C, ["--json"]) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == 1
+        assert payload["exit_code"] == 3
+        assert payload["diagnostics"][0]["rule"] == "OMP001"
+
+    def test_sarif_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "check.sarif"
+        code = self._lint(
+            tmp_path, "warn.c", WARN_C, ["--sarif", "--out", str(out_path)]
+        )
+        assert code == 2
+        document = json.loads(out_path.read_text())
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"][0]["ruleId"] == "OMP002"
+
+    def test_single_app_is_clean(self, capsys):
+        assert main(["check", "mvt"]) == 0
+        out = capsys.readouterr().out
+        assert "2 unit(s), 0 error(s), 0 warning(s)" in out
+
+    def test_app_pristine_only(self, capsys):
+        assert main(["check", "mvt", "--pristine-only"]) == 0
+        assert "1 unit(s)" in capsys.readouterr().out
+
+    def test_no_selection_is_an_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_unknown_app_fails(self, capsys):
+        assert main(["check", "nope"]) == 2
 
 
 class TestProfilesAndLoocv:

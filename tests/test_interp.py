@@ -367,3 +367,54 @@ class TestAllMainsExecute:
     def test_main_returns_zero(self, name):
         interp = Interpreter(load(name).parse(), macro_overrides=self._TINY[name])
         assert interp.run_main() == 0
+
+
+class TestOmpThreadIntrinsics:
+    """omp_get_num_threads reflects the simulated team size and the
+    woven __socrates_num_threads control variable."""
+
+    def test_default_team_size_is_one(self):
+        unit = parse("int main() { return omp_get_num_threads(); }")
+        assert Interpreter(unit).run_main() == 1
+
+    def test_configured_team_size(self):
+        unit = parse(
+            "int main() { return omp_get_num_threads() + omp_get_max_threads(); }"
+        )
+        assert Interpreter(unit, num_threads=4).run_main() == 8
+
+    def test_invalid_team_size_rejected(self):
+        unit = parse("int main() { return 0; }")
+        with pytest.raises(InterpError, match="num_threads"):
+            Interpreter(unit, num_threads=0)
+
+    def test_woven_control_variable_wins(self):
+        unit = parse(
+            "int __socrates_num_threads = 8;\n"
+            "int main() { return omp_get_num_threads(); }"
+        )
+        assert Interpreter(unit, num_threads=2).run_main() == 8
+
+    def test_control_variable_updates_are_visible(self):
+        unit = parse(
+            "int __socrates_num_threads = 2;\n"
+            "int main() {\n"
+            "  int before = omp_get_num_threads();\n"
+            "  __socrates_num_threads = 16;\n"
+            "  return before * 100 + omp_get_num_threads();\n"
+            "}"
+        )
+        assert Interpreter(unit).run_main() == 216
+
+    def test_invalid_control_variable_falls_back(self):
+        unit = parse(
+            "int __socrates_num_threads = 0;\n"
+            "int main() { return omp_get_num_threads(); }"
+        )
+        assert Interpreter(unit, num_threads=3).run_main() == 3
+
+    def test_custom_threads_variable_name(self):
+        unit = parse(
+            "int team = 5;\nint main() { return omp_get_max_threads(); }"
+        )
+        assert Interpreter(unit, threads_variable="team").run_main() == 5

@@ -77,6 +77,85 @@ class TestPrinterRoundTrip:
 
 
 # ---------------------------------------------------------------------------
+# pragma round trips: woven pragma text must survive print -> lex -> parse
+# ---------------------------------------------------------------------------
+
+_omp_clauses = st.lists(
+    st.sampled_from(
+        [
+            "private(i, j)",
+            "firstprivate(a)",
+            "lastprivate(b)",
+            "shared(A)",
+            "reduction(+:s)",
+            "reduction(*:p)",
+            "num_threads(__socrates_num_threads)",
+            "proc_bind(close)",
+            "proc_bind(spread)",
+            "schedule(static)",
+        ]
+    ),
+    max_size=4,
+    unique=True,
+)
+
+
+def _pragma_texts(unit):
+    from repro.cir import ast as cir_ast
+    from repro.cir.visitor import walk
+
+    texts = []
+    for decl in unit.decls:
+        if isinstance(decl, cir_ast.FunctionDef):
+            texts.extend(p.text for p in decl.pragmas)
+            texts.extend(
+                n.text for n in walk(decl.body) if isinstance(n, cir_ast.Pragma)
+            )
+    return texts
+
+
+class TestPragmaRoundTrip:
+    @given(_omp_clauses)
+    @settings(max_examples=60, deadline=None)
+    def test_omp_pragma_clauses_survive_reparsing(self, clauses):
+        pragma = " ".join(["omp parallel for"] + clauses)
+        source = (
+            f"void f(int n) {{\n"
+            f"  int i;\n"
+            f"  #pragma {pragma}\n"
+            f"  for (i = 0; i < n; i++)\n"
+            f"    g(i);\n"
+            f"}}\n"
+        )
+        unit = parse(source)
+        assert _pragma_texts(unit) == [pragma]
+        reparsed = parse(to_source(unit))
+        assert _pragma_texts(reparsed) == [pragma]
+        assert to_source(reparsed) == to_source(unit)
+
+    @pytest.mark.parametrize("name", ["mvt", "atax"])
+    def test_woven_pragmas_survive_reparsing(self, name):
+        """The weaver's pragmas (GCC optimize, num_threads/proc_bind
+        clauses) are printable and re-parse to the identical text."""
+        from repro.gcc.flags import paper_custom_flags, standard_levels
+        from repro.lara.metrics import weave_benchmark
+        from repro.polybench.suite import load
+
+        configs = standard_levels() + paper_custom_flags()
+        _, weaver = weave_benchmark(load(name), configs)
+        printed = to_source(weaver.unit)
+        reparsed = parse(printed)
+        original_texts = sorted(_pragma_texts(weaver.unit))
+        reparsed_texts = sorted(_pragma_texts(reparsed))
+        assert original_texts == reparsed_texts
+        assert any("num_threads(__socrates_num_threads)" in t for t in reparsed_texts)
+        assert any("proc_bind(" in t for t in reparsed_texts)
+        assert any(t.startswith("GCC optimize") for t in reparsed_texts)
+        # and printing is a fixed point
+        assert to_source(reparsed) == printed
+
+
+# ---------------------------------------------------------------------------
 # Pareto laws
 # ---------------------------------------------------------------------------
 

@@ -29,9 +29,11 @@ from repro.bench.baseline import (
     save_baseline,
 )
 from repro.bench.gate import (
+    DEFAULT_ENERGY_TOLERANCE,
     DEFAULT_MAD_K,
     DEFAULT_MIN_DELTA_S,
     DEFAULT_THRESHOLD,
+    EnergyVerdict,
     GateReport,
     StageVerdict,
     compare_result,
@@ -49,11 +51,13 @@ from repro.bench.stats import RobustStats, mad, median
 
 __all__ = [
     "SCHEMA",
+    "DEFAULT_ENERGY_TOLERANCE",
     "DEFAULT_MAD_K",
     "DEFAULT_MIN_DELTA_S",
     "DEFAULT_THRESHOLD",
     "BenchBaseline",
     "BenchScenario",
+    "EnergyVerdict",
     "GateReport",
     "RobustStats",
     "ScenarioResult",

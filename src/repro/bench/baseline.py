@@ -15,7 +15,7 @@ precise error, so a schema bump can never be silently misread.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Union
 
@@ -53,6 +53,10 @@ class BenchBaseline:
     stages: Dict[str, StageBaseline]
     fingerprint: Dict[str, object]
     peak_rss_kb: int
+    #: per-domain joules from the energy observatory; optional (older
+    #: baselines and energy-free scenarios omit it) and compared with a
+    #: relative tolerance by the gate, so no schema bump is needed
+    energy_j: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, result: ScenarioResult) -> "BenchBaseline":
@@ -70,10 +74,11 @@ class BenchBaseline:
             stages=stages,
             fingerprint=dict(result.fingerprint),
             peak_rss_kb=result.peak_rss_kb,
+            energy_j=dict(result.energy_j),
         )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "schema": SCHEMA,
             "scenario": self.scenario,
             "repeats": self.repeats,
@@ -84,6 +89,11 @@ class BenchBaseline:
             "fingerprint": dict(self.fingerprint),
             "peak_rss_kb": self.peak_rss_kb,
         }
+        if self.energy_j:
+            record["energy_j"] = {
+                domain: self.energy_j[domain] for domain in sorted(self.energy_j)
+            }
+        return record
 
 
 def save_baseline(baseline: BenchBaseline, path: PathLike) -> Path:
@@ -131,6 +141,10 @@ def load_baseline(path: PathLike) -> BenchBaseline:
             stages=stages,
             fingerprint=dict(document["fingerprint"]),
             peak_rss_kb=int(document.get("peak_rss_kb", 0)),
+            energy_j={
+                str(domain): float(value)
+                for domain, value in dict(document.get("energy_j", {})).items()
+            },
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ValueError(f"{path}: malformed baseline ({error})") from None

@@ -35,6 +35,12 @@ DEFAULT_THRESHOLD = 0.5
 DEFAULT_MAD_K = 6.0
 #: Default absolute floor in seconds: deltas below this never regress.
 DEFAULT_MIN_DELTA_S = 0.05
+#: Default relative tolerance for energy columns.  Energy is seeded
+#: and deterministic on one platform, but last-bit floating point may
+#: drift across numpy builds — a tolerance comparison (unlike the
+#: exact-match fingerprint) absorbs that while still catching a
+#: configuration pick that burns measurably more joules.
+DEFAULT_ENERGY_TOLERANCE = 0.05
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,31 @@ class StageVerdict:
         }
 
 
+@dataclass(frozen=True)
+class EnergyVerdict:
+    """One energy domain compared against its committed joules."""
+
+    domain: str
+    baseline_j: float
+    fresh_j: float
+    limit_j: float
+    regressed: bool
+
+    @property
+    def delta_j(self) -> float:
+        return self.fresh_j - self.baseline_j
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "domain": self.domain,
+            "baseline_j": self.baseline_j,
+            "fresh_j": self.fresh_j,
+            "limit_j": self.limit_j,
+            "delta_j": self.delta_j,
+            "regressed": self.regressed,
+        }
+
+
 @dataclass
 class GateReport:
     """The full verdict of one scenario comparison."""
@@ -74,6 +105,7 @@ class GateReport:
     fingerprint_ok: bool
     fingerprint_diffs: Dict[str, object] = field(default_factory=dict)
     diff: Optional[TraceDiff] = None
+    energy: List[EnergyVerdict] = field(default_factory=list)
 
     @property
     def offenders(self) -> List[StageVerdict]:
@@ -84,11 +116,20 @@ class GateReport:
         )
 
     @property
+    def energy_offenders(self) -> List[EnergyVerdict]:
+        """Regressed energy domains, largest delta first."""
+        return sorted(
+            [verdict for verdict in self.energy if verdict.regressed],
+            key=lambda verdict: -verdict.delta_j,
+        )
+
+    @property
     def ok(self) -> bool:
         return (
             self.fingerprint_ok
             and not self.wall.regressed
             and not any(verdict.regressed for verdict in self.stages)
+            and not any(verdict.regressed for verdict in self.energy)
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -100,6 +141,10 @@ class GateReport:
             "fingerprint_ok": self.fingerprint_ok,
             "fingerprint_diffs": dict(self.fingerprint_diffs),
             "offenders": [verdict.name for verdict in self.offenders],
+            "energy": [verdict.as_dict() for verdict in self.energy],
+            "energy_offenders": [
+                verdict.domain for verdict in self.energy_offenders
+            ],
         }
 
     def format(self, diff_limit: int = 15) -> str:
@@ -129,6 +174,26 @@ class GateReport:
                 )
         elif self.fingerprint_ok and not wall.regressed:
             lines.append("  all spans within thresholds")
+        if self.energy:
+            energy_offenders = self.energy_offenders
+            if energy_offenders:
+                for verdict in energy_offenders:
+                    lines.append(
+                        f"  ENERGY REGRESSED in domain '{verdict.domain}': "
+                        f"{verdict.baseline_j:.2f}J -> {verdict.fresh_j:.2f}J "
+                        f"(limit {verdict.limit_j:.2f}J)"
+                    )
+            else:
+                package = next(
+                    (v for v in self.energy if v.domain == "package"), None
+                )
+                detail = (
+                    f" (package {package.baseline_j:.2f}J -> "
+                    f"{package.fresh_j:.2f}J)"
+                    if package is not None
+                    else ""
+                )
+                lines.append(f"  energy within tolerance{detail}")
         if self.diff is not None:
             lines.append("  trace diff (baseline -> fresh, |delta| desc):")
             lines.extend(
@@ -157,6 +222,7 @@ def compare_result(
     threshold: float = DEFAULT_THRESHOLD,
     mad_k: float = DEFAULT_MAD_K,
     min_delta_s: float = DEFAULT_MIN_DELTA_S,
+    energy_tolerance: float = DEFAULT_ENERGY_TOLERANCE,
 ) -> GateReport:
     """Compare a fresh :class:`ScenarioResult` against its baseline."""
     if baseline.scenario != result.scenario:
@@ -226,6 +292,24 @@ def compare_result(
         if baseline.fingerprint.get(key) != result.fingerprint.get(key)
     }
 
+    # energy columns: compared per domain with a relative tolerance —
+    # only for domains the baseline committed (older baselines carry
+    # none, so the gate stays backward compatible)
+    energy: List[EnergyVerdict] = []
+    for domain in sorted(baseline.energy_j):
+        baseline_j = baseline.energy_j[domain]
+        fresh_j = result.energy_j.get(domain, 0.0)
+        limit_j = baseline_j * (1.0 + energy_tolerance)
+        energy.append(
+            EnergyVerdict(
+                domain=domain,
+                baseline_j=baseline_j,
+                fresh_j=fresh_j,
+                limit_j=limit_j,
+                regressed=fresh_j > limit_j,
+            )
+        )
+
     baseline_profile = {
         name: SpanAggregate(count=stage.count, total_s=stage.total_s.median)
         for name, stage in baseline.stages.items()
@@ -244,4 +328,5 @@ def compare_result(
         fingerprint_ok=not fingerprint_diffs,
         fingerprint_diffs=fingerprint_diffs,
         diff=diff_profiles(baseline_profile, fresh_profile),
+        energy=energy,
     )

@@ -226,11 +226,31 @@ def _run_adaptation_loop(obs: Observability) -> Dict[str, object]:
     records = scenario.run(app)
     obs.absorb_engine(flow.engine)
     obs.absorb_monitors(app.manager.monitors)
+    # the virtual-RAPL energy columns: recorded as metrics (picked up
+    # by ScenarioResult.energy_j), NOT in the fingerprint — energy is
+    # floating point and compared with a tolerance by the gate, while
+    # the fingerprint demands exact equality
+    from repro.obs.energy import build_timeline
+
+    build_timeline(app, records).record_metrics(obs.metrics)
     return {
         "invocations": len(records),
         "switches": len(obs.audit) if obs.audit is not None else 0,
         "points_evaluated": flow.engine.counters.points_evaluated,
     }
+
+
+def _energy_totals(metrics) -> Dict[str, float]:
+    """Per-domain joules from the ``socrates_energy_joules_total``
+    counters a scenario recorded (summed over kernels)."""
+    totals: Dict[str, float] = {}
+    for instrument in metrics.instruments():
+        if getattr(instrument, "name", None) != "socrates_energy_joules_total":
+            continue
+        domain = dict(instrument.labels).get("domain")
+        if domain is not None:
+            totals[domain] = totals.get(domain, 0.0) + instrument.value
+    return totals
 
 
 # -- the harness --------------------------------------------------------------
@@ -252,6 +272,10 @@ class ScenarioResult:
     peak_rss_kb: int
     #: the last repeat's finished spans, for Chrome-trace export
     spans: List[Span] = field(default_factory=list)
+    #: per-domain joules from the energy observatory (empty when the
+    #: scenario records no energy metrics); gated with a tolerance,
+    #: never part of the exact-match fingerprint
+    energy_j: Dict[str, float] = field(default_factory=dict)
 
 
 def run_scenario(
@@ -274,6 +298,7 @@ def run_scenario(
     span_counts: Dict[str, int] = {}
     fingerprint: Optional[Dict[str, object]] = None
     last_spans: List[Span] = []
+    energy_j: Dict[str, float] = {}
     for repeat in range(repeats):
         obs = factory()
         with obs.tracer.span(f"bench:{name}", scenario=name, repeat=repeat):
@@ -296,6 +321,7 @@ def run_scenario(
                 f"fingerprint {result!r} != repeat 0 {fingerprint!r}"
             )
         last_spans = spans
+        energy_j = _energy_totals(obs.metrics)
     names = sorted(set().union(*per_repeat_totals))
     span_totals = {
         span_name: [totals.get(span_name, 0.0) for totals in per_repeat_totals]
@@ -310,4 +336,5 @@ def run_scenario(
         fingerprint=fingerprint or {},
         peak_rss_kb=peak_rss_kb(),
         spans=last_spans,
+        energy_j=energy_j,
     )

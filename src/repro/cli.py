@@ -11,6 +11,7 @@ Subcommands cover the whole reproduction workflow:
 ``trace``        run a runtime scenario from a JSON mARGOt configuration
 ``check``        static analysis: OpenMP race lint + weave verification
 ``obs``          export/validate/diff traces, metrics dumps; live dashboard
+``energy``       virtual-RAPL energy observatory: report, timeline, budget SLOs
 ``bench``        performance observatory: baselines and the regression gate
 ``table1``       regenerate Table I
 ``fig3``         regenerate Figure 3 (ASCII boxplots)
@@ -401,30 +402,21 @@ def cmd_check(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
-def cmd_obs_export(args: argparse.Namespace) -> int:
-    """Build an app, run a fig5-style scenario, export all obs formats.
+def _fig5_scenario(args: argparse.Namespace, obs):
+    """Build an adaptive app and run the fig5-style requirement flip.
 
-    Produces ``trace.json`` (Chrome trace_event), ``events.jsonl``
-    (full event stream), ``metrics.prom`` (Prometheus text) and
-    ``audit.jsonl`` (adaptation audit) under ``--out-dir``.
+    The shared workload behind ``obs export`` and the ``energy``
+    commands: Thr/W^2 for the first third of ``--duration``, plain
+    Throughput for the middle third, Thr/W^2 again for the last.
+    Returns ``(toolflow_result, app, records)``.
     """
-    from pathlib import Path
-
     from repro.core.scenario import Phase, Scenario
     from repro.margot.state import (
         OptimizationState,
         maximize_throughput,
         maximize_throughput_per_watt_squared,
     )
-    from repro.obs import Observability
-    from repro.obs.export import (
-        write_audit_jsonl,
-        write_chrome_trace,
-        write_jsonl,
-        write_prometheus,
-    )
 
-    obs = Observability()
     flow = _toolflow(args, obs=obs)
     app_def = _load_app(args.app)
     print(f"Building adaptive {app_def.name} (traced)...")
@@ -448,6 +440,28 @@ def cmd_obs_export(args: argparse.Namespace) -> int:
     records = scenario.run(app)
     obs.absorb_engine(flow.engine)
     obs.absorb_monitors(app.manager.monitors)
+    return result, app, records
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    """Build an app, run a fig5-style scenario, export all obs formats.
+
+    Produces ``trace.json`` (Chrome trace_event), ``events.jsonl``
+    (full event stream), ``metrics.prom`` (Prometheus text) and
+    ``audit.jsonl`` (adaptation audit) under ``--out-dir``.
+    """
+    from pathlib import Path
+
+    from repro.obs import Observability
+    from repro.obs.export import (
+        write_audit_jsonl,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus,
+    )
+
+    obs = Observability()
+    _, _, records = _fig5_scenario(args, obs)
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -571,6 +585,169 @@ def cmd_obs_top(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# energy: the virtual-RAPL energy observatory
+# ---------------------------------------------------------------------------
+
+
+def _energy_scenario(args: argparse.Namespace):
+    """Run the fig5-style workload and reconstruct its energy timeline.
+
+    Returns ``(obs, toolflow_result, app, records, timeline)``.
+    """
+    from repro.obs import Observability
+    from repro.obs.energy import build_timeline
+
+    obs = Observability()
+    result, app, records = _fig5_scenario(args, obs)
+    timeline = build_timeline(app, records)
+    timeline.record_metrics(obs.metrics)
+    return obs, result, app, records, timeline
+
+
+def _print_domain_table(title: str, totals, means, duration_s: float) -> None:
+    print(title)
+    print(f"  {'domain':8s} {'energy':>12s} {'mean power':>12s}")
+    for domain in ("package", "core", "uncore", "dram"):
+        print(
+            f"  {domain:8s} {totals[domain]:10.2f} J {means[domain]:10.2f} W"
+        )
+    print(f"  over {duration_s:.2f}s of virtual time")
+
+
+def cmd_energy_report(args: argparse.Namespace) -> int:
+    """Per-domain energy report with the attribution ledger."""
+    import json
+
+    from repro.obs.energy import EnergyLedger
+
+    obs, result, app, records, timeline = _energy_scenario(args)
+    idle_power = app.executor.idle_breakdown().totals()
+    ledger = EnergyLedger.from_timeline(
+        timeline, stage_events=result.stage_events, idle_power_w=idle_power
+    )
+    ledger.verify(records=records)
+
+    if args.json:
+        print(json.dumps(ledger.as_dict(), indent=2, sort_keys=True))
+    else:
+        print()
+        _print_domain_table(
+            f"energy report: {app.name} ({len(records)} invocations)",
+            timeline.totals_j(),
+            timeline.mean_power_w(),
+            timeline.duration_s,
+        )
+        print()
+        print("attribution ledger (operating points, most joules first):")
+        package_total = ledger.totals_j()["package"]
+        for entry in ledger.entries:
+            joules = entry.energy_j["package"]
+            share = joules / package_total if package_total > 0 else 0.0
+            print(
+                f"  {entry.compiler:>6s} x{entry.threads:<3d} {entry.binding:7s} "
+                f"{joules:10.2f} J  ({share:6.1%}, "
+                f"{entry.invocations} invocations, {entry.time_s:.2f}s)"
+            )
+        idle_j = ledger.idle.energy_j["package"]
+        if idle_j > 0:
+            print(f"  {'idle floor':18s} {idle_j:10.2f} J")
+        stage_j = ledger.stage_totals_j()["package"]
+        if ledger.stages:
+            print(
+                f"  toolflow stages: {stage_j:.2f} J host-side over "
+                f"{sum(s.time_s for s in ledger.stages):.2f}s "
+                f"({len(ledger.stages)} stages)"
+            )
+        print("  conservation: domain sums match package totals (verified)")
+    if args.ledger_out:
+        path = ledger.write(args.ledger_out)
+        print(f"Wrote energy ledger to {path}")
+    return 0
+
+
+def cmd_energy_timeline(args: argparse.Namespace) -> int:
+    """Export the reconstructed power(t) timeline."""
+    obs, _, app, records, timeline = _energy_scenario(args)
+    print(
+        f"timeline: {len(timeline)} segments over {timeline.duration_s:.2f}s, "
+        f"peak {timeline.peak_power_w():.1f} W package"
+    )
+    wrote_any = False
+    if args.trace_out:
+        from repro.obs.export import write_chrome_trace
+
+        counters = timeline.counter_events()
+        write_chrome_trace(obs.tracer.spans, args.trace_out, counters=counters)
+        print(
+            f"Wrote Chrome trace to {args.trace_out} "
+            f"({len(obs.tracer.spans)} spans + {len(counters)} power counters; "
+            "open in Perfetto to see the power tracks)"
+        )
+        wrote_any = True
+    if args.csv:
+        rows = timeline.to_csv(args.csv)
+        print(f"Wrote timeline CSV to {args.csv} ({rows} segments)")
+        wrote_any = True
+    if not wrote_any:
+        _print_domain_table(
+            f"energy timeline: {app.name}",
+            timeline.totals_j(),
+            timeline.mean_power_w(),
+            timeline.duration_s,
+        )
+    return 0
+
+
+def cmd_energy_slo(args: argparse.Namespace) -> int:
+    """Check declared power/energy budgets; exit 3 on violation."""
+    from repro.obs.energy import EnergyBudget, check_budgets
+
+    budgets = []
+    if args.power_budget is not None:
+        budgets.append(
+            EnergyBudget(f"power-{args.power_budget:g}W", power_w=args.power_budget)
+        )
+    if args.peak_power_budget is not None:
+        budgets.append(
+            EnergyBudget(
+                f"peak-{args.peak_power_budget:g}W",
+                peak_power_w=args.peak_power_budget,
+            )
+        )
+    if args.energy_budget is not None:
+        budgets.append(
+            EnergyBudget(
+                f"energy-{args.energy_budget:g}J", energy_j=args.energy_budget
+            )
+        )
+    if not budgets:
+        raise ValueError(
+            "declare at least one budget "
+            "(--power-budget / --peak-power-budget / --energy-budget)"
+        )
+    obs, _, app, records, timeline = _energy_scenario(args)
+    verdicts = check_budgets(timeline, budgets, metrics=obs.metrics, audit=obs.audit)
+    print()
+    for verdict in verdicts:
+        print(verdict.message())
+    if args.audit_out:
+        from repro.obs.export import write_audit_jsonl
+
+        count = write_audit_jsonl(obs.audit, args.audit_out)
+        print(f"Wrote adaptation audit to {args.audit_out} ({count} entries)")
+    violated = [verdict for verdict in verdicts if not verdict.ok]
+    print()
+    if violated:
+        print(
+            f"energy slo: FAIL "
+            f"({len(violated)}/{len(verdicts)} budget(s) violated)"
+        )
+        return 3
+    print(f"energy slo: OK ({len(verdicts)} budget(s) met)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # bench: the performance observatory
 # ---------------------------------------------------------------------------
 
@@ -652,6 +829,7 @@ def _bench_compare_reports(args: argparse.Namespace):
             threshold=args.threshold,
             mad_k=args.mad_k,
             min_delta_s=args.min_delta_s,
+            energy_tolerance=args.energy_tolerance,
         )
         pairs.append((report, result))
     return pairs
@@ -1067,6 +1245,84 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_obs_top)
 
     p = subparsers.add_parser(
+        "energy",
+        help="virtual-RAPL energy observatory: report, timeline, budget SLOs",
+    )
+    energy_sub = p.add_subparsers(dest="energy_command", required=True)
+
+    def _add_energy_scenario_args(p: argparse.ArgumentParser) -> None:
+        _add_app_argument(p)
+        p.add_argument(
+            "--duration",
+            type=float,
+            default=30.0,
+            help="virtual seconds of the fig5-style scenario",
+        )
+        p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+        p.add_argument("--repetitions", type=int, default=3)
+        p.add_argument(
+            "--workers",
+            type=int,
+            help="evaluate design points on a process pool of this size",
+        )
+
+    p = energy_sub.add_parser(
+        "report",
+        help="per-domain energy totals and the operating-point attribution ledger",
+    )
+    _add_energy_scenario_args(p)
+    p.add_argument("--json", action="store_true", help="emit the ledger as JSON")
+    p.add_argument(
+        "--ledger-out",
+        metavar="FILE.json",
+        help="write the socrates-energy/1 ledger document here",
+    )
+    p.set_defaults(func=cmd_energy_report)
+    p = energy_sub.add_parser(
+        "timeline",
+        help="reconstructed power(t): Chrome counter tracks and/or CSV",
+    )
+    _add_energy_scenario_args(p)
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE.json",
+        help="Chrome trace with spans + per-domain power counter tracks",
+    )
+    p.add_argument(
+        "--csv", metavar="FILE.csv", help="write the step timeline as CSV"
+    )
+    p.set_defaults(func=cmd_energy_timeline)
+    p = energy_sub.add_parser(
+        "slo",
+        help="check power/energy budgets over the scenario (exit 3 on violation)",
+    )
+    _add_energy_scenario_args(p)
+    p.add_argument(
+        "--power-budget",
+        type=float,
+        metavar="WATTS",
+        help="cap on the time-averaged package power (Fig. 4 sweep values)",
+    )
+    p.add_argument(
+        "--peak-power-budget",
+        type=float,
+        metavar="WATTS",
+        help="cap on the instantaneous package power of any segment",
+    )
+    p.add_argument(
+        "--energy-budget",
+        type=float,
+        metavar="JOULES",
+        help="cap on the total package energy",
+    )
+    p.add_argument(
+        "--audit-out",
+        metavar="FILE.jsonl",
+        help="write the adaptation audit (with SLO context) here",
+    )
+    p.set_defaults(func=cmd_energy_slo)
+
+    p = subparsers.add_parser(
         "bench",
         help="performance observatory: scenario baselines and the regression gate",
     )
@@ -1089,6 +1345,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_gate_knobs(p: argparse.ArgumentParser) -> None:
         from repro.bench.gate import (
+            DEFAULT_ENERGY_TOLERANCE,
             DEFAULT_MAD_K,
             DEFAULT_MIN_DELTA_S,
             DEFAULT_THRESHOLD,
@@ -1116,6 +1373,12 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=DEFAULT_MIN_DELTA_S,
             help="absolute floor in seconds below which deltas never regress",
+        )
+        p.add_argument(
+            "--energy-tolerance",
+            type=float,
+            default=DEFAULT_ENERGY_TOLERANCE,
+            help="relative tolerance for the baseline's energy columns",
         )
         p.add_argument(
             "--limit", type=int, default=15, help="trace-diff rows to print"

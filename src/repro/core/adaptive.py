@@ -21,8 +21,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.gcc.compiler import CompiledKernel
 from repro.machine.executor import ExecutionResult, MachineExecutor
-from repro.machine.openmp import BindingPolicy, OpenMPRuntime
-from repro.machine.power import RaplMeter
+from repro.machine.openmp import BindingPolicy, OpenMPRuntime, ThreadPlacement
+from repro.machine.power import RaplMeter, invocation_energy
 from repro.margot.knowledge import KnowledgeBase, OperatingPoint
 from repro.margot.manager import MargotManager
 from repro.margot.state import OptimizationState
@@ -172,6 +172,10 @@ class AdaptiveApplication:
                 self._manager.stop_monitor(self._now, power_w=measured_power)
                 self._manager.log(self._now)
 
+        # energy goes through the same helper as the executor's ground
+        # truth: with no meter attached, measured_power IS the
+        # executor's power and the record's energy equals
+        # result.energy_j bit for bit
         record = InvocationRecord(
             timestamp=self._now,
             state=self.active_state_name,
@@ -180,7 +184,7 @@ class AdaptiveApplication:
             binding=version.binding.value,
             time_s=result.time_s,
             power_w=measured_power,
-            energy_j=result.time_s * measured_power,
+            energy_j=invocation_energy(result.time_s, measured_power),
         )
         self._trace.append(record)
         return record
@@ -193,17 +197,43 @@ class AdaptiveApplication:
             records.append(self.run_once())
         return records
 
+    # -- introspection (the energy observatory's view) -----------------------------
+
+    @property
+    def executor(self) -> MachineExecutor:
+        return self._executor
+
+    @property
+    def versions(self) -> Dict[Tuple[str, str], KernelVersion]:
+        """The dispatch table, keyed by (compiler label, binding value)."""
+        return dict(self._versions)
+
+    def resolve(
+        self, compiler: str, binding: str, threads: int
+    ) -> Tuple[KernelVersion, ThreadPlacement]:
+        """The compiled version and thread placement an
+        :class:`InvocationRecord`'s knobs dispatch to.
+
+        Lets a post-hoc consumer (the energy observatory) re-derive the
+        exact (kernel, placement) a trace row executed, without
+        re-running anything or touching a random stream.
+        """
+        version = self._lookup(compiler, binding)
+        return version, self._omp.place(threads, version.binding)
+
     # -- internals ----------------------------------------------------------------
+
+    def _lookup(self, compiler: str, binding: str) -> KernelVersion:
+        try:
+            return self._versions[(compiler, binding)]
+        except KeyError:
+            raise KeyError(
+                f"no compiled version for ({compiler!r}, {binding!r}); "
+                f"available: {sorted(self._versions)}"
+            ) from None
 
     def _dispatch(self, point: OperatingPoint) -> Tuple[KernelVersion, int]:
         compiler_label = str(point.knob("compiler"))
         binding = str(point.knob("binding"))
         threads = int(point.knob("threads"))  # type: ignore[call-overload]
-        try:
-            version = self._versions[(compiler_label, binding)]
-        except KeyError:
-            raise KeyError(
-                f"no compiled version for ({compiler_label!r}, {binding!r}); "
-                f"available: {sorted(self._versions)}"
-            ) from None
-        return version, threads
+        return self._lookup(compiler_label, binding), threads

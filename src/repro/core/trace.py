@@ -31,21 +31,27 @@ _FIELDS = (
 
 
 def trace_to_csv(records: Sequence[InvocationRecord], path: Union[str, Path]) -> None:
-    """Write a trace as CSV with one row per kernel invocation."""
+    """Write a trace as CSV with one row per kernel invocation.
+
+    Float columns use ``repr`` (shortest round-trip form), so loading
+    the file back reproduces every ``time_s`` / ``power_w`` /
+    ``energy_j`` bit for bit — the energy ledger's conservation checks
+    depend on trace files carrying full precision.
+    """
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(_FIELDS)
         for record in records:
             writer.writerow(
                 [
-                    f"{record.timestamp:.6f}",
+                    repr(float(record.timestamp)),
                     record.state,
                     record.compiler,
                     record.threads,
                     record.binding,
-                    f"{record.time_s:.9f}",
-                    f"{record.power_w:.4f}",
-                    f"{record.energy_j:.6f}",
+                    repr(float(record.time_s)),
+                    repr(float(record.power_w)),
+                    repr(float(record.energy_j)),
                 ]
             )
 

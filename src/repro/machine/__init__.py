@@ -14,18 +14,31 @@ a thread placement into (time, power, energy) samples.
 from repro.machine.dvfs import TurboModel
 from repro.machine.executor import ExecutionResult, MachineExecutor
 from repro.machine.openmp import BindingPolicy, OpenMPRuntime, ThreadPlacement
-from repro.machine.power import PowerModel, RaplMeter
+from repro.machine.power import (
+    COMPONENT_DOMAINS,
+    DOMAINS,
+    DomainPower,
+    PowerBreakdown,
+    PowerModel,
+    RaplMeter,
+    invocation_energy,
+)
 from repro.machine.topology import Machine, default_machine
 
 __all__ = [
     "BindingPolicy",
+    "COMPONENT_DOMAINS",
+    "DOMAINS",
+    "DomainPower",
     "TurboModel",
     "ExecutionResult",
     "Machine",
     "MachineExecutor",
     "OpenMPRuntime",
+    "PowerBreakdown",
     "PowerModel",
     "RaplMeter",
     "ThreadPlacement",
     "default_machine",
+    "invocation_energy",
 ]

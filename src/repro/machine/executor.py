@@ -33,7 +33,7 @@ import numpy as np
 from repro.gcc.compiler import CompiledKernel
 from repro.machine.dvfs import TurboModel
 from repro.machine.openmp import BindingPolicy, ThreadPlacement
-from repro.machine.power import PowerModel
+from repro.machine.power import PowerBreakdown, PowerModel, invocation_energy
 from repro.machine.topology import Machine
 
 _PER_THREAD_BANDWIDTH = 13e9  # one thread cannot saturate a socket
@@ -109,7 +109,9 @@ class MachineExecutor:
         ((time_factor, power_factor),) = self.noise_factors(1)
         time_s = truth.time_s * time_factor
         power_w = truth.power_w * power_factor
-        return ExecutionResult(time_s=time_s, power_w=power_w, energy_j=time_s * power_w)
+        return ExecutionResult(
+            time_s=time_s, power_w=power_w, energy_j=invocation_energy(time_s, power_w)
+        )
 
     def noise_factors(self, count: int) -> List[Tuple[float, float]]:
         """Draw ``count`` (time, power) measurement-noise factor pairs.
@@ -131,6 +133,52 @@ class MachineExecutor:
         self, kernel: CompiledKernel, placement: ThreadPlacement
     ) -> ExecutionResult:
         """Noise-free model evaluation of (kernel, placement)."""
+        time_s, intensity, utilization, bandwidth_share = self._model_terms(
+            kernel, placement
+        )
+        power_w = self._power_model.active_power(
+            self._machine,
+            placement,
+            intensity=intensity,
+            utilization=utilization,
+            bandwidth_share=bandwidth_share,
+        )
+        return ExecutionResult(
+            time_s=time_s,
+            power_w=power_w,
+            energy_j=invocation_energy(time_s, power_w),
+        )
+
+    def breakdown(
+        self, kernel: CompiledKernel, placement: ThreadPlacement
+    ) -> PowerBreakdown:
+        """Noise-free per-socket / per-domain power of one invocation.
+
+        The virtual-RAPL domain meters: the same model terms as
+        :meth:`evaluate`, attributed per socket and split into
+        core / uncore / DRAM planes.  ``breakdown(...)`` sums back to
+        ``evaluate(...).power_w`` to within 1e-9 and consumes no random
+        stream, so reading the meters never perturbs a seeded run.
+        """
+        _, intensity, utilization, bandwidth_share = self._model_terms(
+            kernel, placement
+        )
+        return self._power_model.active_breakdown(
+            self._machine,
+            placement,
+            intensity=intensity,
+            utilization=utilization,
+            bandwidth_share=bandwidth_share,
+        )
+
+    def idle_breakdown(self) -> PowerBreakdown:
+        """Per-domain power of the idle machine (between invocations)."""
+        return self._power_model.idle_breakdown(self._machine)
+
+    def _model_terms(
+        self, kernel: CompiledKernel, placement: ThreadPlacement
+    ) -> Tuple[float, float, float, float]:
+        """(time_s, effective intensity, utilization, bandwidth share)."""
         machine = self._machine
         profile = kernel.profile
         turbo_power = 1.0
@@ -162,14 +210,8 @@ class MachineExecutor:
 
         utilization = self._utilization(parallel_compute, memory_time)
         bandwidth_share = self._bandwidth_share(traffic, time_s, placement)
-        power_w = self._power_model.active_power(
-            machine,
-            placement,
-            intensity=kernel.power_intensity * self._vector_power(kernel) * turbo_power,
-            utilization=utilization,
-            bandwidth_share=bandwidth_share,
-        )
-        return ExecutionResult(time_s=time_s, power_w=power_w, energy_j=time_s * power_w)
+        intensity = kernel.power_intensity * self._vector_power(kernel) * turbo_power
+        return time_s, intensity, utilization, bandwidth_share
 
     # -- model terms -----------------------------------------------------------
 

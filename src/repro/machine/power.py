@@ -9,12 +9,120 @@ and 145 W.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.machine.openmp import ThreadPlacement
 from repro.machine.topology import Machine
+
+#: RAPL-style power domains reported by the virtual meter.  ``package``
+#: is the per-socket aggregate; the other three partition it exactly
+#: (``core + uncore + dram == package``).
+DOMAINS: Tuple[str, ...] = ("package", "core", "uncore", "dram")
+
+#: Domains that partition the package plane (sum to ``package``).
+COMPONENT_DOMAINS: Tuple[str, ...] = ("core", "uncore", "dram")
+
+
+def invocation_energy(time_s: float, power_w: float) -> float:
+    """Energy of one kernel invocation (joules).
+
+    The single definition shared by the executor's ground truth, the
+    adaptive runtime's measured records, and the energy ledger's
+    consistency checks — so ``energy_j`` can never drift between the
+    producer and a consumer recomputing it.
+    """
+    return time_s * power_w
+
+
+@dataclass(frozen=True)
+class DomainPower:
+    """One socket's power split into RAPL-style planes (watts)."""
+
+    socket: int
+    core_w: float
+    uncore_w: float
+    dram_w: float
+
+    @property
+    def package_w(self) -> float:
+        """The socket's package plane: cores + uncore + DRAM."""
+        return self.core_w + self.uncore_w + self.dram_w
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "package": self.package_w,
+            "core": self.core_w,
+            "uncore": self.uncore_w,
+            "dram": self.dram_w,
+        }
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Whole-machine power split per socket and per domain.
+
+    The aggregate :attr:`package_w` equals
+    :meth:`PowerModel.active_power` (same model terms, summed
+    per-socket instead of globally) to within floating-point
+    reassociation — the conservation tests pin it at 1e-9.
+    """
+
+    sockets: Tuple[DomainPower, ...]
+
+    @property
+    def package_w(self) -> float:
+        return sum(s.package_w for s in self.sockets)
+
+    @property
+    def core_w(self) -> float:
+        return sum(s.core_w for s in self.sockets)
+
+    @property
+    def uncore_w(self) -> float:
+        return sum(s.uncore_w for s in self.sockets)
+
+    @property
+    def dram_w(self) -> float:
+        return sum(s.dram_w for s in self.sockets)
+
+    def domain(self, name: str) -> float:
+        """Total watts of one domain across sockets."""
+        if name not in DOMAINS:
+            raise ValueError(f"unknown power domain {name!r} (known: {DOMAINS})")
+        return {
+            "package": self.package_w,
+            "core": self.core_w,
+            "uncore": self.uncore_w,
+            "dram": self.dram_w,
+        }[name]
+
+    def totals(self) -> Dict[str, float]:
+        """``{domain: watts}`` across all sockets."""
+        return {name: self.domain(name) for name in DOMAINS}
+
+    def scaled(self, factor: float) -> "PowerBreakdown":
+        """Every plane multiplied by ``factor`` (measurement noise is
+        multiplicative, so a noisy package reading scales all domains
+        proportionally)."""
+        return PowerBreakdown(
+            sockets=tuple(
+                DomainPower(
+                    socket=s.socket,
+                    core_w=s.core_w * factor,
+                    uncore_w=s.uncore_w * factor,
+                    dram_w=s.dram_w * factor,
+                )
+                for s in self.sockets
+            )
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "totals_w": self.totals(),
+            "sockets": [s.as_dict() for s in self.sockets],
+        }
 
 
 @dataclass(frozen=True)
@@ -63,6 +171,76 @@ class PowerModel:
         power += placement.smt_pairs * self.smt_thread_w * utilization
         power += len(placement.sockets_used) * self.dram_max_w * bandwidth_share
         return power
+
+    # -- per-domain breakdowns (the virtual-RAPL meters) -----------------------
+
+    def idle_breakdown(self, machine: Machine) -> PowerBreakdown:
+        """Per-socket, per-domain power of the idle machine.
+
+        The idle floor between kernel invocations: every socket pays
+        its uncore power and its cores' idle leakage; DRAM draws
+        nothing without traffic.
+        """
+        return PowerBreakdown(
+            sockets=tuple(
+                DomainPower(
+                    socket=socket,
+                    core_w=machine.cores_per_socket * self.idle_core_w,
+                    uncore_w=self.uncore_w,
+                    dram_w=0.0,
+                )
+                for socket in range(machine.sockets)
+            )
+        )
+
+    def active_breakdown(
+        self,
+        machine: Machine,
+        placement: ThreadPlacement,
+        intensity: float,
+        utilization: float,
+        bandwidth_share: float,
+    ) -> PowerBreakdown:
+        """Per-socket, per-domain split of :meth:`active_power`.
+
+        Same model terms, attributed to the socket that pays them: each
+        socket's cores pay their idle leakage plus the active/SMT power
+        of the busy cores placed there; DRAM power lands on the sockets
+        the team actually uses.  Summing the breakdown reproduces
+        :meth:`active_power` (modulo floating-point reassociation).
+        """
+        busy_cores_per_socket: Dict[int, set] = {}
+        smt_extra_per_place: Dict[Tuple[int, int], int] = {}
+        for place in placement.assignments:
+            busy_cores_per_socket.setdefault(place[0], set()).add(place)
+            smt_extra_per_place[place] = smt_extra_per_place.get(place, 0) + 1
+        smt_pairs_per_socket: Dict[int, int] = {}
+        for (socket, _core), count in smt_extra_per_place.items():
+            if count > 1:
+                smt_pairs_per_socket[socket] = smt_pairs_per_socket.get(socket, 0) + 1
+        sockets_used = set(placement.sockets_used)
+        sockets = []
+        for socket in range(machine.sockets):
+            core_w = machine.cores_per_socket * self.idle_core_w
+            core_w += (
+                len(busy_cores_per_socket.get(socket, ()))
+                * self.active_core_w
+                * intensity
+                * utilization
+            )
+            core_w += (
+                smt_pairs_per_socket.get(socket, 0) * self.smt_thread_w * utilization
+            )
+            dram_w = self.dram_max_w * bandwidth_share if socket in sockets_used else 0.0
+            sockets.append(
+                DomainPower(
+                    socket=socket,
+                    core_w=core_w,
+                    uncore_w=self.uncore_w,
+                    dram_w=dram_w,
+                )
+            )
+        return PowerBreakdown(sockets=tuple(sockets))
 
 
 class RaplMeter:

@@ -24,6 +24,12 @@ Exports (:mod:`repro.obs.export`) cover a JSONL event stream, Chrome
 ``trace_event`` JSON for Perfetto/``chrome://tracing``, and a
 Prometheus-style text dump; :mod:`repro.obs.validate` checks each
 format, and the ``socrates obs`` CLI wires both up.
+
+:mod:`repro.obs.energy` builds on all three pillars: the virtual-RAPL
+energy observatory reconstructs per-domain power(t) timelines from
+runtime traces, books joules onto operating points in an
+:class:`~repro.obs.energy.EnergyLedger`, and watches declared
+power/energy budgets (``socrates energy report|timeline|slo``).
 """
 
 from __future__ import annotations
@@ -37,8 +43,20 @@ from repro.obs.audit import (
     CandidateTrace,
     CheckTrace,
     ConstraintTrace,
+    SloTrace,
     compose_reason,
     describe_rank,
+)
+from repro.obs.energy import (
+    BudgetVerdict,
+    EnergyBudget,
+    EnergyLedger,
+    EnergySample,
+    EnergyTimeline,
+    LedgerConservationError,
+    attribute_record,
+    build_timeline,
+    check_budgets,
 )
 from repro.obs.metrics import (
     DEFAULT_SIZE_BUCKETS,
@@ -55,10 +73,16 @@ from repro.obs.tracing import MAIN_TRACK, NULL_TRACER, NullTracer, Span, Tracer
 __all__ = [
     "AdaptationAuditLog",
     "AdaptationEntry",
+    "BudgetVerdict",
     "CandidateTrace",
     "CheckTrace",
     "ConstraintTrace",
     "Counter",
+    "EnergyBudget",
+    "EnergyLedger",
+    "EnergySample",
+    "EnergyTimeline",
+    "LedgerConservationError",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
     "Gauge",
@@ -71,8 +95,12 @@ __all__ = [
     "NullMetricsRegistry",
     "NullTracer",
     "Observability",
+    "SloTrace",
     "Span",
     "Tracer",
+    "attribute_record",
+    "build_timeline",
+    "check_budgets",
     "compose_reason",
     "describe_rank",
 ]

@@ -82,6 +82,35 @@ class CheckTrace:
         }
 
 
+@dataclass(frozen=True)
+class SloTrace:
+    """One energy/power budget violation surfaced through the audit log.
+
+    Like :class:`CheckTrace`, kept separate from the adaptation entries
+    so the adaptation JSONL schema and its validators are unaffected;
+    ``slos_as_dicts`` exposes them for reporting.  Landing the
+    violation next to the adaptation decisions lets a reader answer
+    "which operating-point switch blew the 90 W budget?" from one log.
+    """
+
+    budget: str
+    kernel: str
+    mean_power_w: float
+    peak_power_w: float
+    total_energy_j: float
+    violations: Tuple[str, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "budget": self.budget,
+            "kernel": self.kernel,
+            "mean_power_w": self.mean_power_w,
+            "peak_power_w": self.peak_power_w,
+            "total_energy_j": self.total_energy_j,
+            "violations": list(self.violations),
+        }
+
+
 @dataclass
 class AdaptationEntry:
     """One explained operating-point switch."""
@@ -178,6 +207,7 @@ class AdaptationAuditLog:
         self._max_candidates = max_candidates
         self._entries: List[AdaptationEntry] = []
         self._checks: List[CheckTrace] = []
+        self._slos: List[SloTrace] = []
 
     @property
     def max_candidates(self) -> int:
@@ -219,3 +249,16 @@ class AdaptationAuditLog:
 
     def checks_as_dicts(self) -> List[Dict[str, object]]:
         return [trace.as_dict() for trace in self._checks]
+
+    # -- energy SLO traces ------------------------------------------------------
+
+    @property
+    def slos(self) -> List[SloTrace]:
+        return list(self._slos)
+
+    def record_slo(self, trace: SloTrace) -> SloTrace:
+        self._slos.append(trace)
+        return trace
+
+    def slos_as_dicts(self) -> List[Dict[str, object]]:
+        return [trace.as_dict() for trace in self._slos]

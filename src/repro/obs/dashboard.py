@@ -59,6 +59,37 @@ def _hit_rate_line(
     )
 
 
+def _energy_section(metrics: MetricsRegistry, width: int) -> List[str]:
+    """The virtual-RAPL meter rows: per-domain joules (summed over
+    kernels) as share-of-package fill meters, with mean watts when the
+    ``socrates_power_watts`` gauges are present."""
+    energy: dict = {}
+    power: dict = {}
+    for instrument in metrics.instruments():
+        if not isinstance(instrument, (Counter, Gauge)):
+            continue
+        domain = dict(instrument.labels).get("domain")
+        if domain is None:
+            continue
+        if instrument.name == "socrates_energy_joules_total":
+            energy[domain] = energy.get(domain, 0.0) + instrument.value
+        elif instrument.name == "socrates_power_watts":
+            power[domain] = power.get(domain, 0.0) + instrument.value
+    if not energy:
+        return []
+    package_j = energy.get("package", 0.0)
+    lines = ["", "energy (virtual RAPL)"]
+    for domain in ("package", "core", "uncore", "dram"):
+        if domain not in energy:
+            continue
+        share = energy[domain] / package_j if package_j > 0 else 0.0
+        suffix = f"  {energy[domain]:.2f} J"
+        if domain in power:
+            suffix += f"  ({power[domain]:.1f} W avg)"
+        lines.append(f"  {domain:8s} " + meter(share, width=width) + suffix)
+    return lines
+
+
 def _histogram_section(instrument: Histogram, width: int) -> List[str]:
     labels = [f"<={boundary:g}" for boundary in instrument.boundaries] + ["+Inf"]
     lines = [
@@ -130,6 +161,8 @@ def render_dashboard(
             f"  switches: {len(audit)}   last at t={last.timestamp:.1f}s "
             f"under state '{last.state}'"
         )
+
+    lines.extend(_energy_section(metrics, bar_width))
 
     histograms = [
         instrument

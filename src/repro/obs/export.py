@@ -59,8 +59,22 @@ def _origin(spans: Sequence[Span]) -> float:
 # -- Chrome trace_event -------------------------------------------------------
 
 
-def chrome_trace(spans: Sequence[Span], process_name: str = "socrates") -> Dict[str, object]:
-    """The span tree as a Chrome ``trace_event`` JSON document."""
+def chrome_trace(
+    spans: Sequence[Span],
+    process_name: str = "socrates",
+    counters: Sequence[Dict[str, object]] = (),
+) -> Dict[str, object]:
+    """The span tree as a Chrome ``trace_event`` JSON document.
+
+    ``counters`` are pre-built counter events (``"ph": "C"``, e.g. the
+    energy observatory's ``power.<domain>`` tracks from
+    :meth:`~repro.obs.energy.EnergyTimeline.counter_events`); they are
+    appended verbatim so Perfetto draws the power steps alongside the
+    span tree.  Counter timestamps are the scenario's *virtual*
+    microseconds while span timestamps are re-based wall-clock — both
+    start at 0, so the tracks align at the origin even though the time
+    bases differ.
+    """
     origin = _origin(spans)
     track_ids: Dict[str, int] = {MAIN_TRACK: 0}
     events: List[Dict[str, object]] = []
@@ -102,14 +116,20 @@ def chrome_trace(spans: Sequence[Span], process_name: str = "socrates") -> Dict[
                 "args": {"name": track},
             }
         )
-    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": metadata + events + list(counters),
+        "displayTimeUnit": "ms",
+    }
 
 
 def write_chrome_trace(
-    spans: Sequence[Span], path: PathLike, process_name: str = "socrates"
+    spans: Sequence[Span],
+    path: PathLike,
+    process_name: str = "socrates",
+    counters: Sequence[Dict[str, object]] = (),
 ) -> int:
     """Write the Chrome trace; returns the number of span events."""
-    document = chrome_trace(spans, process_name=process_name)
+    document = chrome_trace(spans, process_name=process_name, counters=counters)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")

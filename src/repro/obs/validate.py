@@ -5,9 +5,14 @@ Each validator raises :class:`ValueError` with a precise message on
 the first problem found, and returns a small summary dict on success.
 
 * :func:`validate_chrome_trace` — the document parses, every span
-  event carries the required ``trace_event`` fields, and spans on the
+  event carries the required ``trace_event`` fields, spans on the
   same (pid, tid) are properly nested (a child never outlives its
-  enclosing span; no partial overlaps).
+  enclosing span; no partial overlaps), and counter events (``"C"``,
+  the energy observatory's power tracks) carry numeric values.
+* :func:`validate_energy_ledger` — a ``socrates-energy/1`` ledger
+  document is well-formed and conserves energy: every entry's
+  component domains sum to its package joules, and entries sum to the
+  document totals.
 * :func:`validate_prometheus_text` — every line matches the text
   exposition grammar (``# HELP`` / ``# TYPE`` comments, bare or
   labelled sample lines with a float value) and histogram bucket
@@ -73,12 +78,17 @@ def validate_chrome_trace(path: PathLike) -> Dict[str, object]:
     if not isinstance(events, list):
         raise ValueError(f"{path}: 'traceEvents' is not a list")
     spans: List[dict] = []
+    counters = 0
     for index, event in enumerate(events):
         if not isinstance(event, dict):
             raise ValueError(f"{path}: event {index} is not an object")
         phase = event.get("ph")
         if phase == "M":
             continue  # metadata events carry no timing
+        if phase == "C":
+            _check_counter_event(event, index, str(path))
+            counters += 1
+            continue
         for fieldname in _REQUIRED_SPAN_FIELDS:
             if fieldname not in event:
                 raise ValueError(
@@ -88,7 +98,7 @@ def validate_chrome_trace(path: PathLike) -> Dict[str, object]:
         if phase != "X":
             raise ValueError(
                 f"{path}: event {index} has unsupported phase {phase!r} "
-                "(expected complete events 'X')"
+                "(expected complete events 'X' or counter events 'C')"
             )
         if "dur" not in event:
             raise ValueError(f"{path}: complete event {index} lacks 'dur'")
@@ -100,10 +110,41 @@ def validate_chrome_trace(path: PathLike) -> Dict[str, object]:
                     f"non-negative number (got {value!r})"
                 )
         spans.append(event)
-    if not spans:
-        raise ValueError(f"{path}: trace contains no span events")
+    if not spans and not counters:
+        raise ValueError(
+            f"{path}: trace contains no span events ('X') or counter events ('C')"
+        )
     _check_nesting(spans, str(path))
-    return {"events": len(events), "spans": len(spans)}
+    return {"events": len(events), "spans": len(spans), "counters": counters}
+
+
+def _check_counter_event(event: dict, index: int, label: str) -> None:
+    """Counter events ("ph": "C") draw Perfetto's power tracks: they
+    need a name, a non-negative timestamp, a pid, and an ``args``
+    object mapping series names to finite numbers."""
+    for fieldname in ("name", "ts", "pid", "args"):
+        if fieldname not in event:
+            raise ValueError(
+                f"{label}: counter event {index} ({event.get('name', '?')!r}) "
+                f"lacks required field {fieldname!r}"
+            )
+    ts = event["ts"]
+    if not isinstance(ts, (int, float)) or ts < 0:
+        raise ValueError(
+            f"{label}: counter event {index} field 'ts' is not a "
+            f"non-negative number (got {ts!r})"
+        )
+    args = event["args"]
+    if not isinstance(args, dict) or not args:
+        raise ValueError(
+            f"{label}: counter event {index} 'args' must be a non-empty object"
+        )
+    for series, value in args.items():
+        if not isinstance(value, (int, float)) or value != value:
+            raise ValueError(
+                f"{label}: counter event {index} series {series!r} value "
+                f"is not a finite number (got {value!r})"
+            )
 
 
 def _check_nesting(spans: List[dict], label: str) -> None:
@@ -201,13 +242,115 @@ def validate_events_jsonl(path: PathLike) -> Dict[str, object]:
     return counts
 
 
+def validate_energy_ledger(path: PathLike) -> Dict[str, object]:
+    """Validate a ``socrates-energy/1`` ledger document.
+
+    Checks the schema shape and the conservation invariants: every
+    entry's component domains sum to its package joules, and the
+    operating points plus the idle floor sum to ``totals_j`` — all
+    within the observatory's 1e-9 relative tolerance.
+    """
+    from repro.obs.energy import (
+        COMPONENT_DOMAINS,
+        CONSERVATION_TOL,
+        DOMAINS,
+        LEDGER_SCHEMA,
+    )
+
+    try:
+        document = json.loads(_read_text(path))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from None
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: ledger document is not a JSON object")
+    schema = document.get("schema")
+    if schema != LEDGER_SCHEMA:
+        raise ValueError(
+            f"{path}: unexpected ledger schema {schema!r} "
+            f"(expected {LEDGER_SCHEMA!r})"
+        )
+    for key in ("kernel", "totals_j", "operating_points", "idle"):
+        if key not in document:
+            raise ValueError(f"{path}: ledger lacks required key {key!r}")
+
+    def energy_of(container: object, label: str) -> Dict[str, float]:
+        if not isinstance(container, dict) or not isinstance(
+            container.get("energy_j"), dict
+        ):
+            raise ValueError(f"{path}: {label} lacks an 'energy_j' object")
+        energy = container["energy_j"]
+        for domain in DOMAINS:
+            if not isinstance(energy.get(domain), (int, float)):
+                raise ValueError(
+                    f"{path}: {label} energy_j lacks numeric domain {domain!r}"
+                )
+        return energy
+
+    def check_closure(energy: Dict[str, float], label: str) -> None:
+        package = float(energy["package"])
+        components = sum(float(energy[d]) for d in COMPONENT_DOMAINS)
+        if abs(components - package) > CONSERVATION_TOL * max(1.0, abs(package)):
+            raise ValueError(
+                f"{path}: {label} domain sum {components!r} J does not "
+                f"match package {package!r} J"
+            )
+
+    totals = document["totals_j"]
+    if not isinstance(totals, dict):
+        raise ValueError(f"{path}: 'totals_j' is not an object")
+    check_closure(totals, "totals_j")
+
+    entries = document["operating_points"]
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'operating_points' is not a list")
+    booked = {domain: 0.0 for domain in DOMAINS}
+    for index, entry in enumerate(entries):
+        energy = energy_of(entry, f"operating point {index}")
+        check_closure(energy, f"operating point {index}")
+        for domain in DOMAINS:
+            booked[domain] += float(energy[domain])
+    idle = energy_of(document["idle"], "idle entry")
+    check_closure(idle, "idle entry")
+    for domain in DOMAINS:
+        booked[domain] += float(idle[domain])
+        total = float(totals[domain])
+        if abs(booked[domain] - total) > CONSERVATION_TOL * max(1.0, abs(total)):
+            raise ValueError(
+                f"{path}: booked {domain} energy {booked[domain]!r} J does "
+                f"not match totals_j {total!r} J"
+            )
+    stages = document.get("stages", [])
+    if not isinstance(stages, list):
+        raise ValueError(f"{path}: 'stages' is not a list")
+    for index, stage in enumerate(stages):
+        check_closure(
+            energy_of(stage, f"stage {index}"),
+            f"stage {index}",
+        )
+    return {
+        "kernel": document["kernel"],
+        "operating_points": len(entries),
+        "stages": len(stages),
+        "package_j": float(totals["package"]),
+    }
+
+
 def validate_file(path: PathLike) -> Dict[str, object]:
-    """Dispatch on file suffix: .json → Chrome trace, .jsonl → event
-    stream, .prom/.txt → Prometheus text."""
+    """Dispatch on file suffix: .json → Chrome trace or energy ledger
+    (sniffed on content), .jsonl → event stream, .prom/.txt →
+    Prometheus text."""
     suffix = Path(path).suffix.lower()
     if suffix == ".jsonl":
         return validate_events_jsonl(path)
     if suffix == ".json":
+        from repro.obs.energy import LEDGER_SCHEMA
+
+        try:
+            document = json.loads(_read_text(path))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON ({error})") from None
+        if isinstance(document, dict) and document.get("schema") == LEDGER_SCHEMA:
+            return validate_energy_ledger(path)
         return validate_chrome_trace(path)
     if suffix in (".prom", ".txt"):
         return validate_prometheus_text(path)

@@ -240,6 +240,67 @@ def _run_adaptation_loop(obs: Observability) -> Dict[str, object]:
     }
 
 
+@register(
+    "biglittle_power_cap",
+    "heterogeneous adaptation: quick build of mvt on biglittle_4p4e, "
+    "power cap flips the cluster knob from P (race-to-idle) to E "
+    "(slow-and-steady); ledger verified per cluster domain",
+)
+def _run_biglittle_power_cap(obs: Observability) -> Dict[str, object]:
+    from repro.core.scenario import Phase, Scenario
+    from repro.margot.goal import ComparisonFunction, Goal
+    from repro.margot.state import (
+        Constraint,
+        OptimizationState,
+        maximize_throughput,
+    )
+    from repro.obs.energy import EnergyLedger, build_timeline
+    from repro.polybench.suite import load
+
+    flow = _quick_toolflow(obs, machine="biglittle_4p4e")
+    result = flow.build(load("mvt"))
+    app = result.adaptive
+    app.add_state(
+        OptimizationState("Throughput", rank=maximize_throughput()), activate=True
+    )
+    capped = OptimizationState("PowerCap", rank=maximize_throughput())
+    capped.add_constraint(
+        Constraint(Goal("power", ComparisonFunction.LESS_OR_EQUAL, 22.0))
+    )
+    app.add_state(capped)
+    scenario = Scenario(
+        phases=[
+            Phase(0.0, "Throughput"),
+            Phase(1.0, "PowerCap"),
+            Phase(2.0, "Throughput"),
+        ],
+        duration_s=3.0,
+    )
+    records = scenario.run(app)
+    obs.absorb_engine(flow.engine)
+    obs.absorb_monitors(app.manager.monitors)
+    timeline = build_timeline(app, records)
+    timeline.record_metrics(obs.metrics)
+    # per-cluster conservation is part of the scenario's contract: the
+    # P:/E: planes must close against the machine-wide domains
+    EnergyLedger.from_timeline(timeline).verify(records)
+    clusters_by_state: Dict[str, str] = {}
+    for record in records:
+        votes = clusters_by_state.setdefault(record.state, {})  # type: ignore[assignment]
+        votes[record.cluster] = votes.get(record.cluster, 0) + 1  # type: ignore[index]
+    dominant = {
+        state: max(votes, key=votes.get)  # type: ignore[arg-type]
+        for state, votes in clusters_by_state.items()
+    }
+    return {
+        "invocations": len(records),
+        "clusters_used": sorted({record.cluster for record in records}),
+        "uncapped_cluster": dominant.get("Throughput", ""),
+        "capped_cluster": dominant.get("PowerCap", ""),
+        "points_evaluated": flow.engine.counters.points_evaluated,
+    }
+
+
 def _energy_totals(metrics) -> Dict[str, float]:
     """Per-domain joules from the ``socrates_energy_joules_total``
     counters a scenario recorded (summed over kernels)."""

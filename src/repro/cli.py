@@ -36,6 +36,15 @@ def _add_app_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("app", help="benchmark name (see `socrates list`)")
 
 
+def _add_machine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine",
+        metavar="NAME",
+        help="machine model from the registry (e.g. xeon_2s, biglittle_4p4e; "
+        "default: the paper's dual-socket Xeon)",
+    )
+
+
 def _make_obs(args: argparse.Namespace):
     """An enabled Observability when any obs flag asks for one, else None."""
     if getattr(args, "trace_out", None) or getattr(args, "audit_out", None):
@@ -57,6 +66,7 @@ def _toolflow(args: argparse.Namespace, obs=None):
 
         backend = ProcessPoolBackend(max_workers=args.workers)
     return SocratesToolflow(
+        machine=getattr(args, "machine", None),
         dse_repetitions=getattr(args, "repetitions", 3),
         thread_counts=threads,
         backend=backend,
@@ -168,7 +178,11 @@ def cmd_build(args: argparse.Namespace) -> int:
     if args.oplist:
         from repro.margot.oplist import save_knowledge
 
-        save_knowledge(result.exploration.knowledge, args.oplist)
+        save_knowledge(
+            result.exploration.knowledge,
+            args.oplist,
+            machine=flow.machine.name if getattr(args, "machine", None) else None,
+        )
         if not json_mode:
             print(f"Wrote oplist to {args.oplist}")
     if args.source_out:
@@ -606,10 +620,12 @@ def _energy_scenario(args: argparse.Namespace):
 
 def _print_domain_table(title: str, totals, means, duration_s: float) -> None:
     print(title)
-    print(f"  {'domain':8s} {'energy':>12s} {'mean power':>12s}")
-    for domain in ("package", "core", "uncore", "dram"):
+    print(f"  {'domain':9s} {'energy':>12s} {'mean power':>12s}")
+    # totals is ordered machine-wide domains first, then any per-cluster
+    # planes a heterogeneous machine adds
+    for domain in totals:
         print(
-            f"  {domain:8s} {totals[domain]:10.2f} J {means[domain]:10.2f} W"
+            f"  {domain:9s} {totals[domain]:10.2f} J {means[domain]:10.2f} W"
         )
     print(f"  over {duration_s:.2f}s of virtual time")
 
@@ -643,9 +659,10 @@ def cmd_energy_report(args: argparse.Namespace) -> int:
         for entry in ledger.entries:
             joules = entry.energy_j["package"]
             share = joules / package_total if package_total > 0 else 0.0
+            pin = f" @{entry.cluster}" if entry.cluster else ""
             print(
-                f"  {entry.compiler:>6s} x{entry.threads:<3d} {entry.binding:7s} "
-                f"{joules:10.2f} J  ({share:6.1%}, "
+                f"  {entry.compiler:>6s} x{entry.threads:<3d} {entry.binding:7s}"
+                f"{pin} {joules:10.2f} J  ({share:6.1%}, "
                 f"{entry.invocations} invocations, {entry.time_s:.2f}s)"
             )
         idle_j = ledger.idle.energy_j["package"]
@@ -702,22 +719,31 @@ def cmd_energy_slo(args: argparse.Namespace) -> int:
     """Check declared power/energy budgets; exit 3 on violation."""
     from repro.obs.energy import EnergyBudget, check_budgets
 
+    domain = getattr(args, "budget_domain", None) or "package"
+    suffix = "" if domain == "package" else f"-{domain}"
     budgets = []
     if args.power_budget is not None:
         budgets.append(
-            EnergyBudget(f"power-{args.power_budget:g}W", power_w=args.power_budget)
+            EnergyBudget(
+                f"power-{args.power_budget:g}W{suffix}",
+                power_w=args.power_budget,
+                domain=domain,
+            )
         )
     if args.peak_power_budget is not None:
         budgets.append(
             EnergyBudget(
-                f"peak-{args.peak_power_budget:g}W",
+                f"peak-{args.peak_power_budget:g}W{suffix}",
                 peak_power_w=args.peak_power_budget,
+                domain=domain,
             )
         )
     if args.energy_budget is not None:
         budgets.append(
             EnergyBudget(
-                f"energy-{args.energy_budget:g}J", energy_j=args.energy_budget
+                f"energy-{args.energy_budget:g}J{suffix}",
+                energy_j=args.energy_budget,
+                domain=domain,
             )
         )
     if not budgets:
@@ -1072,6 +1098,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = subparsers.add_parser("build", help="run the full toolflow")
     _add_app_argument(p)
+    _add_machine_argument(p)
     p.add_argument("--threads", help="comma-separated thread counts for the DSE")
     p.add_argument("--repetitions", type=int, default=3)
     p.add_argument("--oplist", help="write the knowledge base to this JSON file")
@@ -1101,6 +1128,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="build an app and print stage/cache telemetry as JSON"
     )
     _add_app_argument(p)
+    _add_machine_argument(p)
     p.add_argument("--threads", help="comma-separated thread counts for the DSE")
     p.add_argument("--repetitions", type=int, default=3)
     p.add_argument(
@@ -1117,6 +1145,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = subparsers.add_parser("trace", help="run a scenario from a margot config")
     p.add_argument("config", help="JSON configuration (see repro.margot.config)")
+    _add_machine_argument(p)
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--threads", help="comma-separated thread counts for the DSE")
     p.add_argument("--repetitions", type=int, default=3)
@@ -1135,6 +1164,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profiles)
 
     p = subparsers.add_parser("loocv", help="COBAYN leave-one-out evaluation")
+    _add_machine_argument(p)
     p.add_argument("--apps", help="comma-separated subset (default: all twelve)")
     p.add_argument("-k", type=int, default=4)
     p.add_argument("--threads", help="unused placeholder for symmetry")
@@ -1252,6 +1282,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_energy_scenario_args(p: argparse.ArgumentParser) -> None:
         _add_app_argument(p)
+        _add_machine_argument(p)
         p.add_argument(
             "--duration",
             type=float,
@@ -1314,6 +1345,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="JOULES",
         help="cap on the total package energy",
+    )
+    p.add_argument(
+        "--budget-domain",
+        metavar="DOMAIN",
+        help="power plane the budgets apply to (default: package; "
+        "per-cluster planes like P:package work on heterogeneous machines)",
     )
     p.add_argument(
         "--audit-out",
@@ -1438,12 +1475,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_experiments)
 
     p = subparsers.add_parser("fig3", help="regenerate Figure 3")
+    _add_machine_argument(p)
     p.add_argument("--apps", help="comma-separated subset of benchmarks")
     p.add_argument("--threads", help="comma-separated thread counts for the DSE")
     p.add_argument("--repetitions", type=int, default=3)
     p.set_defaults(func=cmd_fig3)
 
     p = subparsers.add_parser("fig4", help="regenerate Figure 4")
+    _add_machine_argument(p)
     p.add_argument("--app", default="2mm")
     p.add_argument("--steps", type=int, default=20)
     p.add_argument("--threads", help="comma-separated thread counts for the DSE")
@@ -1451,6 +1490,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fig4)
 
     p = subparsers.add_parser("fig5", help="regenerate Figure 5")
+    _add_machine_argument(p)
     p.add_argument("--app", default="2mm")
     p.add_argument("--duration", type=float, default=300.0)
     p.add_argument("--threads", help="comma-separated thread counts for the DSE")

@@ -83,13 +83,22 @@ class TrainingCorpus:
 
 def reference_points(
     configs: Sequence[FlagConfiguration],
+    max_threads: Optional[int] = None,
 ) -> List[DesignPoint]:
     """The iterative-compilation design points: every configuration at
-    the fixed reference operating point."""
+    the fixed reference operating point.
+
+    ``max_threads`` caps the reference team at the machine's capability
+    (a big.LITTLE part may have fewer than 16 logical CPUs); the
+    paper's testbed is unaffected.
+    """
+    threads = (
+        REFERENCE_THREADS
+        if max_threads is None
+        else min(REFERENCE_THREADS, max_threads)
+    )
     return [
-        DesignPoint(
-            compiler=config, threads=REFERENCE_THREADS, binding=REFERENCE_BINDING
-        )
+        DesignPoint(compiler=config, threads=threads, binding=REFERENCE_BINDING)
         for config in configs
     ]
 
@@ -107,7 +116,10 @@ def evaluate_configuration(
     engine = engine or EvaluationEngine(compiler=compiler, executor=executor, omp=omp)
     profile = engine.profile(app)
     (sample,) = engine.evaluate(
-        profile, reference_points([config]), repetitions=1, noisy=False
+        profile,
+        reference_points([config], max_threads=engine.machine.logical_cpus),
+        repetitions=1,
+        noisy=False,
     )
     return sample.times[0]
 
@@ -132,7 +144,7 @@ def build_corpus(
     engine = engine or EvaluationEngine(compiler=compiler, executor=executor, omp=omp)
     tracer = engine.obs.tracer
     space = cobayn_space()
-    points = reference_points(space)
+    points = reference_points(space, max_threads=engine.machine.logical_cpus)
     corpus = TrainingCorpus()
     for app in apps:
         with tracer.span("cobayn.iterative", app=app.name, configs=len(points)):

@@ -31,15 +31,33 @@ from repro.obs import NULL_OBS, Observability
 
 @dataclass(frozen=True)
 class KernelVersion:
-    """One compiled clone of the kernel (a wrapper dispatch target)."""
+    """One compiled clone of the kernel (a wrapper dispatch target).
+
+    ``cluster`` is the cluster pin baked into the version's placement
+    (``None`` = whole machine, the three-knob dispatch table).
+    """
 
     index: int
     compiled: CompiledKernel
     binding: BindingPolicy
+    cluster: Optional[str] = None
 
     @property
     def compiler_label(self) -> str:
         return self.compiled.config.label
+
+
+def version_key(
+    compiler: str, binding: str, cluster: Optional[str] = None
+) -> Tuple[str, ...]:
+    """Dispatch-table key of one version.
+
+    Unpinned versions keep the historical ``(compiler, binding)`` pair;
+    cluster-pinned versions append the cluster name.
+    """
+    if cluster is None:
+        return (compiler, binding)
+    return (compiler, binding, cluster)
 
 
 def build_version_table(
@@ -47,30 +65,41 @@ def build_version_table(
     profile,
     configs,
     bindings: Tuple[BindingPolicy, ...] = (BindingPolicy.CLOSE, BindingPolicy.SPREAD),
-) -> Dict[Tuple[str, str], KernelVersion]:
+    clusters: Tuple[Optional[str], ...] = (None,),
+) -> Dict[Tuple[str, ...], KernelVersion]:
     """The weaved wrapper's dispatch table, built through the engine.
 
-    One :class:`KernelVersion` per (configuration, binding); compilation
-    goes through the :class:`~repro.engine.EvaluationEngine`'s compile
-    cache, so assembling after a DSE over the same configurations costs
-    zero additional compilations.
+    One :class:`KernelVersion` per (configuration, binding, cluster);
+    compilation goes through the
+    :class:`~repro.engine.EvaluationEngine`'s compile cache, so
+    assembling after a DSE over the same configurations costs zero
+    additional compilations.  The default ``clusters=(None,)`` keeps
+    the historical (configuration, binding) table.
     """
-    versions: Dict[Tuple[str, str], KernelVersion] = {}
+    versions: Dict[Tuple[str, ...], KernelVersion] = {}
     index = 0
     for config in configs:
         for binding in bindings:
-            versions[(config.label, binding.value)] = KernelVersion(
-                index=index,
-                compiled=engine.compile(profile, config),
-                binding=binding,
-            )
-            index += 1
+            for cluster in clusters:
+                versions[version_key(config.label, binding.value, cluster)] = (
+                    KernelVersion(
+                        index=index,
+                        compiled=engine.compile(profile, config),
+                        binding=binding,
+                        cluster=cluster,
+                    )
+                )
+                index += 1
     return versions
 
 
 @dataclass(frozen=True)
 class InvocationRecord:
-    """One row of the runtime trace (Figure 5's signals)."""
+    """One row of the runtime trace (Figure 5's signals).
+
+    ``cluster`` is empty when the invocation ran unpinned (the
+    historical trace shape).
+    """
 
     timestamp: float
     state: str
@@ -80,6 +109,7 @@ class InvocationRecord:
     time_s: float
     power_w: float
     energy_j: float
+    cluster: str = ""
 
     @property
     def throughput(self) -> float:
@@ -154,7 +184,9 @@ class AdaptiveApplication:
             with tracer.span("margot.update"):
                 point = self._manager.update(now=self._now)
             version, threads = self._dispatch(point)
-            placement = self._omp.place(threads, version.binding)
+            placement = self._omp.place(
+                threads, version.binding, cluster=version.cluster
+            )
 
             self._manager.start_monitor(self._now)
             with tracer.span(
@@ -185,6 +217,7 @@ class AdaptiveApplication:
             time_s=result.time_s,
             power_w=measured_power,
             energy_j=invocation_energy(result.time_s, measured_power),
+            cluster=version.cluster or "",
         )
         self._trace.append(record)
         return record
@@ -204,12 +237,12 @@ class AdaptiveApplication:
         return self._executor
 
     @property
-    def versions(self) -> Dict[Tuple[str, str], KernelVersion]:
-        """The dispatch table, keyed by (compiler label, binding value)."""
+    def versions(self) -> Dict[Tuple[str, ...], KernelVersion]:
+        """The dispatch table, keyed by :func:`version_key`."""
         return dict(self._versions)
 
     def resolve(
-        self, compiler: str, binding: str, threads: int
+        self, compiler: str, binding: str, threads: int, cluster: Optional[str] = None
     ) -> Tuple[KernelVersion, ThreadPlacement]:
         """The compiled version and thread placement an
         :class:`InvocationRecord`'s knobs dispatch to.
@@ -218,22 +251,28 @@ class AdaptiveApplication:
         exact (kernel, placement) a trace row executed, without
         re-running anything or touching a random stream.
         """
-        version = self._lookup(compiler, binding)
-        return version, self._omp.place(threads, version.binding)
+        version = self._lookup(compiler, binding, cluster)
+        return version, self._omp.place(
+            threads, version.binding, cluster=version.cluster
+        )
 
     # -- internals ----------------------------------------------------------------
 
-    def _lookup(self, compiler: str, binding: str) -> KernelVersion:
+    def _lookup(
+        self, compiler: str, binding: str, cluster: Optional[str] = None
+    ) -> KernelVersion:
         try:
-            return self._versions[(compiler, binding)]
+            return self._versions[version_key(compiler, binding, cluster)]
         except KeyError:
             raise KeyError(
-                f"no compiled version for ({compiler!r}, {binding!r}); "
-                f"available: {sorted(self._versions)}"
+                f"no compiled version for ({compiler!r}, {binding!r}, "
+                f"{cluster!r}); available: {sorted(self._versions)}"
             ) from None
 
     def _dispatch(self, point: OperatingPoint) -> Tuple[KernelVersion, int]:
         compiler_label = str(point.knob("compiler"))
         binding = str(point.knob("binding"))
         threads = int(point.knob("threads"))  # type: ignore[call-overload]
-        return self._lookup(compiler_label, binding), threads
+        cluster = point.knobs.get("cluster")
+        pin = str(cluster) if cluster is not None else None
+        return self._lookup(compiler_label, binding, pin), threads

@@ -19,7 +19,7 @@ produces the adaptive application:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cobayn.autotuner import CobaynAutotuner
 from repro.cobayn.corpus import build_corpus
@@ -35,7 +35,8 @@ from repro.lara.weaver import Weaver
 from repro.machine.executor import MachineExecutor
 from repro.machine.openmp import OpenMPRuntime
 from repro.machine.power import RaplMeter
-from repro.machine.topology import Machine, default_machine
+from repro.machine.registry import resolve_machine
+from repro.machine.topology import Machine
 from repro.milepost.features import FeatureVector
 from repro.obs import NULL_OBS, Observability
 from repro.polybench.apps.base import BenchmarkApp
@@ -83,8 +84,8 @@ class ToolflowResult:
         from repro.margot.codegen import generate_margot_header
 
         version_index = {
-            f"{label}|{binding}": version.index
-            for (label, binding), version in self.adaptive._versions.items()
+            "|".join(key): version.index
+            for key, version in self.adaptive._versions.items()
         }
         return generate_margot_header(
             kernel=self.app.kernels[0],
@@ -99,7 +100,7 @@ class SocratesToolflow:
 
     def __init__(
         self,
-        machine: Optional[Machine] = None,
+        machine: Union[str, Machine, None] = None,
         dse_repetitions: int = 5,
         cobayn_k: int = 4,
         thread_counts: Optional[Sequence[int]] = None,
@@ -139,7 +140,7 @@ class SocratesToolflow:
             self._obs = obs if obs is not None else engine.obs
         else:
             self._obs = obs if obs is not None else NULL_OBS
-            self._machine = machine or default_machine()
+            self._machine = resolve_machine(machine)
             self._omp = OpenMPRuntime(self._machine)
             self._compiler = Compiler()
             self._executor = MachineExecutor(self._machine, seed=seed)
@@ -231,6 +232,17 @@ class SocratesToolflow:
         )
 
     # -- stages ------------------------------------------------------------------
+
+    def _cluster_pins(self) -> Tuple[Optional[str], ...]:
+        """Values of the cluster knob on this platform.
+
+        Homogeneous machines get the degenerate ``(None,)`` — no pin,
+        the paper's three-knob space; heterogeneous machines expose one
+        pin per cluster type (the fourth knob).
+        """
+        if self._machine.is_homogeneous:
+            return (None,)
+        return tuple(self._machine.cluster_names())
 
     def _verify_weave(self, app: BenchmarkApp, weaver: Weaver):
         """Post-weave gate: hard error on structural violations.
@@ -329,8 +341,17 @@ class SocratesToolflow:
         dse_strategy: Optional[SamplingStrategy],
     ) -> ExplorationResult:
         profile = self._engine.profile(app)
+        pins = self._cluster_pins()
+        capacities = (
+            {name: self._machine.cluster_logical_cpus(name) for name in pins}
+            if pins != (None,)
+            else None
+        )
         space = DesignSpace(
-            compiler_configs=list(configs), thread_counts=self._thread_counts
+            compiler_configs=list(configs),
+            thread_counts=self._thread_counts,
+            clusters=pins,
+            cluster_capacities=capacities,
         )
         explorer = DesignSpaceExplorer(
             self._compiler,
@@ -348,7 +369,9 @@ class SocratesToolflow:
         exploration: ExplorationResult,
     ) -> AdaptiveApplication:
         profile = self._engine.profile(app)
-        versions = build_version_table(self._engine, profile, configs)
+        versions = build_version_table(
+            self._engine, profile, configs, clusters=self._cluster_pins()
+        )
         meter = RaplMeter(self._executor.power_model, seed=self._seed ^ 0xFF)
         knowledge = exploration.knowledge
         if self._pareto_prune:

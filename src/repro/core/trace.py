@@ -29,6 +29,10 @@ _FIELDS = (
     "energy_j",
 )
 
+#: Appended after :data:`_FIELDS` only when a trace used the cluster
+#: knob, so homogeneous-machine trace files stay byte-identical.
+_CLUSTER_FIELD = "cluster"
+
 
 def trace_to_csv(records: Sequence[InvocationRecord], path: Union[str, Path]) -> None:
     """Write a trace as CSV with one row per kernel invocation.
@@ -36,24 +40,28 @@ def trace_to_csv(records: Sequence[InvocationRecord], path: Union[str, Path]) ->
     Float columns use ``repr`` (shortest round-trip form), so loading
     the file back reproduces every ``time_s`` / ``power_w`` /
     ``energy_j`` bit for bit — the energy ledger's conservation checks
-    depend on trace files carrying full precision.
+    depend on trace files carrying full precision.  A ``cluster``
+    column appears only when at least one invocation was pinned.
     """
+    clustered = any(record.cluster for record in records)
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(_FIELDS)
+        header = _FIELDS + (_CLUSTER_FIELD,) if clustered else _FIELDS
+        writer.writerow(header)
         for record in records:
-            writer.writerow(
-                [
-                    repr(float(record.timestamp)),
-                    record.state,
-                    record.compiler,
-                    record.threads,
-                    record.binding,
-                    repr(float(record.time_s)),
-                    repr(float(record.power_w)),
-                    repr(float(record.energy_j)),
-                ]
-            )
+            row = [
+                repr(float(record.timestamp)),
+                record.state,
+                record.compiler,
+                record.threads,
+                record.binding,
+                repr(float(record.time_s)),
+                repr(float(record.power_w)),
+                repr(float(record.energy_j)),
+            ]
+            if clustered:
+                row.append(record.cluster)
+            writer.writerow(row)
 
 
 #: Numeric trace columns and the casts they require.
@@ -85,6 +93,9 @@ def _parse_row(row: Dict[str, object], row_number: int) -> InvocationRecord:
                 f"trace row {row_number}, column {column!r}: "
                 f"cannot parse {raw!r} as {cast.__name__}"
             ) from None
+    cluster = row.get(_CLUSTER_FIELD)
+    if cluster is not None:
+        values[_CLUSTER_FIELD] = cluster
     return InvocationRecord(**values)  # type: ignore[arg-type]
 
 
@@ -124,6 +135,7 @@ class PhaseSummary:
     dominant_threads: int
     dominant_compiler: str
     dominant_binding: str
+    dominant_cluster: str = ""
 
     @property
     def mean_throughput(self) -> float:
@@ -144,10 +156,12 @@ def summarize_phases(
         threads_votes: Dict[int, int] = {}
         compiler_votes: Dict[str, int] = {}
         binding_votes: Dict[str, int] = {}
+        cluster_votes: Dict[str, int] = {}
         for record in members:
             threads_votes[record.threads] = threads_votes.get(record.threads, 0) + 1
             compiler_votes[record.compiler] = compiler_votes.get(record.compiler, 0) + 1
             binding_votes[record.binding] = binding_votes.get(record.binding, 0) + 1
+            cluster_votes[record.cluster] = cluster_votes.get(record.cluster, 0) + 1
         summaries.append(
             PhaseSummary(
                 state=phase.state,
@@ -160,6 +174,7 @@ def summarize_phases(
                 dominant_threads=max(threads_votes, key=threads_votes.get),
                 dominant_compiler=max(compiler_votes, key=compiler_votes.get),
                 dominant_binding=max(binding_votes, key=binding_votes.get),
+                dominant_cluster=max(cluster_votes, key=cluster_votes.get),
             )
         )
     return summaries

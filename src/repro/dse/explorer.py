@@ -36,6 +36,7 @@ __all__ = [
     "ExplorationResult",
     "ProfiledSample",
     "KNOB_BINDING",
+    "KNOB_CLUSTER",
     "KNOB_COMPILER",
     "KNOB_THREADS",
 ]
@@ -44,6 +45,10 @@ __all__ = [
 KNOB_COMPILER = "compiler"
 KNOB_THREADS = "threads"
 KNOB_BINDING = "binding"
+#: The fourth knob, present only on heterogeneous machines (operating
+#: points from an unpinned, whole-machine run omit it entirely so the
+#: paper's three-knob knowledge bases stay unchanged).
+KNOB_CLUSTER = "cluster"
 
 
 @dataclass
@@ -134,12 +139,15 @@ class DesignSpaceExplorer:
             std = float(values.std(ddof=1)) if len(values) > 1 else 0.0
             return MetricStats(mean=float(values.mean()), std=std)
 
+        knobs = {
+            KNOB_COMPILER: sample.point.compiler.label,
+            KNOB_THREADS: sample.point.threads,
+            KNOB_BINDING: sample.point.binding.value,
+        }
+        if sample.point.cluster is not None:
+            knobs[KNOB_CLUSTER] = sample.point.cluster
         return OperatingPoint(
-            knobs={
-                KNOB_COMPILER: sample.point.compiler.label,
-                KNOB_THREADS: sample.point.threads,
-                KNOB_BINDING: sample.point.binding.value,
-            },
+            knobs=knobs,
             metrics={
                 "time": stats(times),
                 "throughput": stats(throughputs),

@@ -1,7 +1,7 @@
 """Evaluation backends: where the machine-model invocations run.
 
-A backend maps *work items* — ``(CompiledKernel, threads, binding)``
-triples — to their noise-free ``(time_s, power_w)`` truths.  Truths
+A backend maps *work items* — ``(CompiledKernel, threads, binding,
+cluster)`` tuples — to their noise-free ``(time_s, power_w)`` truths.  Truths
 are deterministic model evaluations, so the engine can ship them to
 any pool of workers and stay reproducible: measurement noise is drawn
 separately, in canonical point order, from the engine's single seeded
@@ -26,15 +26,19 @@ from repro.machine.executor import MachineExecutor
 from repro.machine.openmp import BindingPolicy, OpenMPRuntime, ThreadPlacement
 from repro.obs.tracing import Tracer
 
-#: One unit of backend work: compiled kernel + placement request.
-WorkItem = Tuple[CompiledKernel, int, str]
+#: One unit of backend work: compiled kernel + placement request (the
+#: last element is the cluster pin, ``None`` = whole machine).
+WorkItem = Tuple[CompiledKernel, int, str, Optional[str]]
 #: Noise-free outcome of one work item.
 Truth = Tuple[float, float]
 
 
 def _truth_span_name(item: WorkItem) -> str:
-    kernel, threads, binding = item
-    return f"truth:{kernel.profile.kernel}@{threads}t/{binding}"
+    kernel, threads, binding, cluster = item
+    name = f"truth:{kernel.profile.kernel}@{threads}t/{binding}"
+    if cluster is not None:
+        name += f"/{cluster}"
+    return name
 
 
 class SerialBackend:
@@ -50,14 +54,14 @@ class SerialBackend:
         items: Sequence[WorkItem],
         tracer: Optional[Tracer] = None,
     ) -> List[Truth]:
-        placements: Dict[Tuple[int, str], ThreadPlacement] = {}
+        placements: Dict[Tuple[int, str, Optional[str]], ThreadPlacement] = {}
         truths: List[Truth] = []
         for item in items:
-            kernel, threads, binding = item
-            placement = placements.get((threads, binding))
+            kernel, threads, binding, cluster = item
+            placement = placements.get((threads, binding, cluster))
             if placement is None:
-                placement = omp.place(threads, BindingPolicy(binding))
-                placements[(threads, binding)] = placement
+                placement = omp.place(threads, BindingPolicy(binding), cluster=cluster)
+                placements[(threads, binding, cluster)] = placement
             if tracer is not None and tracer.enabled:
                 with tracer.span(
                     _truth_span_name(item), compiler=kernel.config.label
@@ -84,13 +88,13 @@ def _init_worker(executor: MachineExecutor, omp: OpenMPRuntime) -> None:
 
 
 def _evaluate_item(item: WorkItem) -> Truth:
-    kernel, threads, binding = item
-    placements: Dict[Tuple[int, str], ThreadPlacement] = _WORKER["placements"]  # type: ignore[assignment]
-    placement = placements.get((threads, binding))
+    kernel, threads, binding, cluster = item
+    placements: Dict[Tuple[int, str, Optional[str]], ThreadPlacement] = _WORKER["placements"]  # type: ignore[assignment]
+    placement = placements.get((threads, binding, cluster))
     if placement is None:
         omp: OpenMPRuntime = _WORKER["omp"]  # type: ignore[assignment]
-        placement = omp.place(threads, BindingPolicy(binding))
-        placements[(threads, binding)] = placement
+        placement = omp.place(threads, BindingPolicy(binding), cluster=cluster)
+        placements[(threads, binding, cluster)] = placement
     executor: MachineExecutor = _WORKER["executor"]  # type: ignore[assignment]
     result = executor.evaluate(kernel, placement)
     return (result.time_s, result.power_w)

@@ -24,7 +24,7 @@ hand-rolled loops byte for byte.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.backends import ProcessPoolBackend, SerialBackend, Truth, WorkItem
 from repro.engine.caching import CompileCache, CompileKey, ProfileCache
@@ -33,7 +33,8 @@ from repro.gcc.compiler import CompiledKernel, Compiler
 from repro.gcc.flags import FlagConfiguration
 from repro.machine.executor import MachineExecutor
 from repro.machine.openmp import OpenMPRuntime
-from repro.machine.topology import Machine, default_machine
+from repro.machine.registry import resolve_machine
+from repro.machine.topology import Machine
 from repro.milepost.features import FeatureVector
 from repro.obs import NULL_OBS, Observability
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
@@ -62,12 +63,13 @@ class EvaluationEngine:
         compiler: Optional[Compiler] = None,
         executor: Optional[MachineExecutor] = None,
         omp: Optional[OpenMPRuntime] = None,
-        machine: Optional[Machine] = None,
+        machine: Union[str, Machine, None] = None,
         backend=None,
         obs: Optional[Observability] = None,
     ) -> None:
-        if machine is None:
-            machine = executor.machine if executor is not None else default_machine()
+        if machine is None and executor is not None:
+            machine = executor.machine
+        machine = resolve_machine(machine)
         self._machine = machine
         self._compiler = compiler or Compiler()
         self._executor = executor or MachineExecutor(machine)
@@ -99,7 +101,7 @@ class EvaluationEngine:
         # model truths are pure functions of (kernel, placement): cache
         # them so repeated visits (leave-one-out corpus rebuilds, suite
         # sweeps) never re-run the machine model
-        self._truth_cache: Dict[Tuple[CompileKey, int, str], Truth] = {}
+        self._truth_cache: Dict[Tuple[CompileKey, int, str, Optional[str]], Truth] = {}
         self._truth_hits = 0
         self._truth_misses = 0
         self._points_evaluated = 0
@@ -220,16 +222,18 @@ class EvaluationEngine:
                 CompileCache.key(profile, point.compiler),
                 point.threads,
                 point.binding.value,
+                point.cluster,
             )
             for point in points
         ]
-        missing: Dict[Tuple[CompileKey, int, str], WorkItem] = {}
+        missing: Dict[Tuple[CompileKey, int, str, Optional[str]], WorkItem] = {}
         for point, key in zip(points, point_keys):
             if key not in self._truth_cache and key not in missing:
                 missing[key] = (
                     kernels[point.compiler.label],
                     point.threads,
                     point.binding.value,
+                    point.cluster,
                 )
         if missing:
             tracer = self._obs.tracer

@@ -9,6 +9,13 @@ under ``OMP_PLACES=cores`` with ``close``/``spread`` binding,
 :mod:`repro.machine.power` provides the power model and an RAPL-like
 meter, and :mod:`repro.machine.executor` turns a compiled kernel plus
 a thread placement into (time, power, energy) samples.
+
+A machine is a tuple of :class:`~repro.machine.topology.Cluster`\\ s —
+one per socket — so asymmetric (big.LITTLE-style) parts are first-class
+citizens: :mod:`repro.machine.registry` names the available platforms
+(``xeon_2s`` is the default, bit-for-bit the historical homogeneous
+testbed) and every layer resolves its machine parameter through
+:func:`~repro.machine.registry.resolve_machine`.
 """
 
 from repro.machine.dvfs import TurboModel
@@ -21,13 +28,23 @@ from repro.machine.power import (
     PowerBreakdown,
     PowerModel,
     RaplMeter,
+    cluster_domain,
     invocation_energy,
 )
-from repro.machine.topology import Machine, default_machine
+from repro.machine.registry import (
+    DEFAULT_MACHINE,
+    get_machine,
+    machine_names,
+    resolve_machine,
+)
+from repro.machine.topology import Cluster, ClusterPower, Machine, default_machine
 
 __all__ = [
     "BindingPolicy",
     "COMPONENT_DOMAINS",
+    "Cluster",
+    "ClusterPower",
+    "DEFAULT_MACHINE",
     "DOMAINS",
     "DomainPower",
     "TurboModel",
@@ -39,6 +56,10 @@ __all__ = [
     "PowerModel",
     "RaplMeter",
     "ThreadPlacement",
+    "cluster_domain",
     "default_machine",
+    "get_machine",
     "invocation_energy",
+    "machine_names",
+    "resolve_machine",
 ]

@@ -55,10 +55,11 @@ class TurboModel:
         """Effective clock of the busiest socket for this placement."""
         per_socket = placement.threads_per_socket()
         # the busiest socket dictates the team's pace
-        busiest = max(per_socket.values())
-        cores = min(busiest, machine.cores_per_socket)
-        if machine.cores_per_socket > 1:
-            fraction = (cores - 1) / (machine.cores_per_socket - 1)
+        busiest_socket = max(per_socket, key=lambda s: per_socket[s])
+        socket_cores = machine.cluster(busiest_socket).cores
+        cores = min(per_socket[busiest_socket], socket_cores)
+        if socket_cores > 1:
+            fraction = (cores - 1) / (socket_cores - 1)
         else:
             fraction = 1.0
         clock = self.single_core_turbo_hz - fraction * (

@@ -26,7 +26,7 @@ Model summary (one kernel invocation):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -133,8 +133,8 @@ class MachineExecutor:
         self, kernel: CompiledKernel, placement: ThreadPlacement
     ) -> ExecutionResult:
         """Noise-free model evaluation of (kernel, placement)."""
-        time_s, intensity, utilization, bandwidth_share = self._model_terms(
-            kernel, placement
+        time_s, intensity, utilization, bandwidth_share, freq_power = (
+            self._model_terms(kernel, placement)
         )
         power_w = self._power_model.active_power(
             self._machine,
@@ -142,6 +142,7 @@ class MachineExecutor:
             intensity=intensity,
             utilization=utilization,
             bandwidth_share=bandwidth_share,
+            freq_power=freq_power,
         )
         return ExecutionResult(
             time_s=time_s,
@@ -160,7 +161,7 @@ class MachineExecutor:
         ``evaluate(...).power_w`` to within 1e-9 and consumes no random
         stream, so reading the meters never perturbs a seeded run.
         """
-        _, intensity, utilization, bandwidth_share = self._model_terms(
+        _, intensity, utilization, bandwidth_share, freq_power = self._model_terms(
             kernel, placement
         )
         return self._power_model.active_breakdown(
@@ -169,6 +170,7 @@ class MachineExecutor:
             intensity=intensity,
             utilization=utilization,
             bandwidth_share=bandwidth_share,
+            freq_power=freq_power,
         )
 
     def idle_breakdown(self) -> PowerBreakdown:
@@ -177,8 +179,28 @@ class MachineExecutor:
 
     def _model_terms(
         self, kernel: CompiledKernel, placement: ThreadPlacement
-    ) -> Tuple[float, float, float, float]:
-        """(time_s, effective intensity, utilization, bandwidth share)."""
+    ) -> Tuple[float, float, float, float, Optional[Dict[int, float]]]:
+        """(time_s, intensity, utilization, bandwidth share, freq power).
+
+        The last element is the per-socket DVFS dynamic-power factor
+        for heterogeneous machines, ``None`` on homogeneous ones (where
+        frequency effects stay folded into the calibrated constants, or
+        come from the opt-in :class:`TurboModel`).
+        """
+        if self._machine.is_homogeneous:
+            return self._homogeneous_model_terms(kernel, placement)
+        if self._turbo is not None:
+            raise ValueError(
+                "TurboModel is the homogeneous-Xeon frequency model; "
+                "heterogeneous machines model DVFS through their clusters' "
+                "dvfs_states"
+            )
+        return self._clustered_model_terms(kernel, placement)
+
+    def _homogeneous_model_terms(
+        self, kernel: CompiledKernel, placement: ThreadPlacement
+    ) -> Tuple[float, float, float, float, None]:
+        """The calibrated single-cluster-type model (the paper's Xeon)."""
         machine = self._machine
         profile = kernel.profile
         turbo_power = 1.0
@@ -211,7 +233,95 @@ class MachineExecutor:
         utilization = self._utilization(parallel_compute, memory_time)
         bandwidth_share = self._bandwidth_share(traffic, time_s, placement)
         intensity = kernel.power_intensity * self._vector_power(kernel) * turbo_power
-        return time_s, intensity, utilization, bandwidth_share
+        return time_s, intensity, utilization, bandwidth_share, None
+
+    def _clustered_model_terms(
+        self, kernel: CompiledKernel, placement: ThreadPlacement
+    ) -> Tuple[float, float, float, float, Dict[int, float]]:
+        """Per-cluster roofline for heterogeneous machines.
+
+        Every socket contributes capacity at its own cluster's clock
+        (the cluster's DVFS governor picks the state for its active-core
+        count), LLC slice and bandwidth.  A static-scheduled team that
+        straddles clusters of different speed is paced by the slowest
+        member — the chunks are equal, the cores are not.
+        """
+        machine = self._machine
+        profile = kernel.profile
+
+        busy_cores: Dict[int, set] = {}
+        smt_extra: Dict[Tuple[int, int], int] = {}
+        for place in placement.assignments:
+            busy_cores.setdefault(place[0], set()).add(place)
+            smt_extra[place] = smt_extra.get(place, 0) + 1
+        smt_pairs: Dict[int, int] = {}
+        for (socket, _core), count in smt_extra.items():
+            if count > 1:
+                smt_pairs[socket] = smt_pairs.get(socket, 0) + 1
+
+        freqs: Dict[int, float] = {}
+        freq_power: Dict[int, float] = {}
+        for socket, cores in busy_cores.items():
+            cluster = machine.cluster(socket)
+            freqs[socket] = cluster.effective_frequency(len(cores))
+            freq_power[socket] = cluster.freq_power_factor(len(cores))
+
+        # the serial share runs on (the fastest of) the participating cores
+        serial_time = kernel.serial_cycles / max(freqs.values())
+
+        core_eq = 0.0
+        capacity_hz = 0.0
+        for socket, cores in busy_cores.items():
+            cluster = machine.cluster(socket)
+            eq = len(cores) + smt_pairs.get(socket, 0) * cluster.smt_speedup
+            core_eq += eq
+            capacity_hz += eq * freqs[socket]
+        mean_freq = capacity_hz / core_eq
+        if profile.loop_carried_dependence:
+            capacity_hz = core_eq**_DEPENDENCE_SCALING_EXPONENT * mean_freq
+        imbalance = self._imbalance(profile, placement)
+        if len(freqs) > 1 and placement.num_threads > 1 and profile.parallel_regions:
+            # straddling clusters: equal static chunks finish at the
+            # slowest cluster's pace
+            imbalance *= mean_freq / min(freqs.values())
+        parallel_compute = kernel.parallel_cycles / capacity_hz * imbalance
+
+        llc = sum(machine.cluster(socket).llc_bytes for socket in busy_cores)
+        working_set = max(profile.working_set_bytes, 1.0)
+        naive = profile.naive_bytes
+        spill_fraction = max(0.0, (working_set - llc) / working_set)
+        traffic = working_set + max(0.0, naive - working_set) * spill_fraction
+
+        per_socket = placement.threads_per_socket()
+        bandwidth = 0.0
+        for socket, threads in per_socket.items():
+            cluster = machine.cluster(socket)
+            socket_peak = cluster.bandwidth_bytes_s
+            if socket != 0:
+                socket_peak *= machine.numa_remote_factor
+            bandwidth += min(socket_peak, threads * cluster.per_thread_bandwidth)
+        floor = min(
+            machine.cluster(socket).per_thread_bandwidth for socket in per_socket
+        )
+        bandwidth = max(bandwidth, floor * 0.5)
+        memory_time = traffic / bandwidth
+
+        body = max(parallel_compute, memory_time) + (1.0 - _OVERLAP) * min(
+            parallel_compute, memory_time
+        )
+        fork_join = self._fork_join(profile.parallel_regions, placement)
+        time_s = serial_time + body + fork_join
+
+        utilization = self._utilization(parallel_compute, memory_time)
+        peak = sum(
+            machine.cluster(socket).bandwidth_bytes_s
+            for socket in placement.sockets_used
+        )
+        bandwidth_share = (
+            min(1.0, traffic / time_s / peak) if time_s > 0 and peak > 0 else 0.0
+        )
+        intensity = kernel.power_intensity * self._vector_power(kernel)
+        return time_s, intensity, utilization, bandwidth_share, freq_power
 
     # -- model terms -----------------------------------------------------------
 

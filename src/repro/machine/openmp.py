@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.machine.topology import Machine
 
@@ -33,11 +33,13 @@ class ThreadPlacement:
 
     ``assignments`` maps each OpenMP thread id to its (socket, core)
     place; with more threads than places, several threads share a core
-    via SMT.
+    via SMT.  ``cluster`` names the cluster type the team was pinned to
+    (``None`` = the whole machine, the historical behaviour).
     """
 
     policy: BindingPolicy
     assignments: Tuple[Tuple[int, int], ...]
+    cluster: Optional[str] = None
 
     @property
     def num_threads(self) -> int:
@@ -77,11 +79,22 @@ class OpenMPRuntime:
     def machine(self) -> Machine:
         return self._machine
 
-    def max_threads(self) -> int:
-        """OMP_NUM_THREADS upper bound: the number of logical CPUs."""
-        return self._machine.logical_cpus
+    def max_threads(self, cluster: Optional[str] = None) -> int:
+        """OMP_NUM_THREADS upper bound: the number of logical CPUs.
 
-    def place(self, num_threads: int, policy: BindingPolicy) -> ThreadPlacement:
+        With ``cluster``, the bound of a team pinned to that cluster
+        type (its logical CPUs across all sockets hosting it).
+        """
+        if cluster is None:
+            return self._machine.logical_cpus
+        return self._machine.cluster_logical_cpus(cluster)
+
+    def place(
+        self,
+        num_threads: int,
+        policy: BindingPolicy,
+        cluster: Optional[str] = None,
+    ) -> ThreadPlacement:
         """Assign ``num_threads`` OpenMP threads to core places.
 
         * ``close``: threads fill consecutive places, so a small team
@@ -90,17 +103,29 @@ class OpenMPRuntime:
           over all places, so even a 2-thread team spans both sockets
           (double bandwidth, cross-socket synchronization).
 
+        ``cluster`` restricts the place list to one cluster type (the
+        fourth knob: an ``OMP_PLACES`` subset naming only that
+        cluster's cores); the close/spread semantics then apply within
+        the restricted list.
+
         Teams larger than the number of places wrap around, stacking a
         second SMT thread per core.
         """
         if num_threads < 1:
             raise ValueError("num_threads must be >= 1")
-        if num_threads > self.max_threads():
-            raise ValueError(
-                f"num_threads={num_threads} exceeds the machine's "
-                f"{self.max_threads()} logical CPUs"
+        if num_threads > self.max_threads(cluster):
+            where = (
+                f"cluster {cluster!r}'s" if cluster is not None else "the machine's"
             )
-        places = self._places
+            raise ValueError(
+                f"num_threads={num_threads} exceeds {where} "
+                f"{self.max_threads(cluster)} logical CPUs"
+            )
+        places = (
+            self._places
+            if cluster is None
+            else self._machine.cluster_places(cluster)
+        )
         count = len(places)
         assignments: List[Tuple[int, int]] = []
         if policy is BindingPolicy.CLOSE:
@@ -120,4 +145,6 @@ class OpenMPRuntime:
             for extra in range(extras):
                 index = (extra * count) // max(extras, 1)
                 assignments.append(places[index])
-        return ThreadPlacement(policy=policy, assignments=tuple(assignments))
+        return ThreadPlacement(
+            policy=policy, assignments=tuple(assignments), cluster=cluster
+        )

@@ -9,12 +9,12 @@ and 145 W.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.machine.openmp import ThreadPlacement
-from repro.machine.topology import Machine
+from repro.machine.topology import ClusterPower, Machine
 
 #: RAPL-style power domains reported by the virtual meter.  ``package``
 #: is the per-socket aggregate; the other three partition it exactly
@@ -23,6 +23,16 @@ DOMAINS: Tuple[str, ...] = ("package", "core", "uncore", "dram")
 
 #: Domains that partition the package plane (sum to ``package``).
 COMPONENT_DOMAINS: Tuple[str, ...] = ("core", "uncore", "dram")
+
+
+def cluster_domain(cluster: str, domain: str) -> str:
+    """Key of a per-cluster power plane (e.g. ``"P:package"``).
+
+    Heterogeneous machines report, next to the machine-wide domains,
+    one additional plane per (cluster type, domain) pair; the same
+    conservation invariant holds within each cluster.
+    """
+    return f"{cluster}:{domain}"
 
 
 def invocation_energy(time_s: float, power_w: float) -> float:
@@ -38,12 +48,17 @@ def invocation_energy(time_s: float, power_w: float) -> float:
 
 @dataclass(frozen=True)
 class DomainPower:
-    """One socket's power split into RAPL-style planes (watts)."""
+    """One socket's power split into RAPL-style planes (watts).
+
+    ``cluster`` names the cluster type occupying the socket (empty for
+    breakdowns computed without cluster attribution).
+    """
 
     socket: int
     core_w: float
     uncore_w: float
     dram_w: float
+    cluster: str = ""
 
     @property
     def package_w(self) -> float:
@@ -102,6 +117,33 @@ class PowerBreakdown:
         """``{domain: watts}`` across all sockets."""
         return {name: self.domain(name) for name in DOMAINS}
 
+    def cluster_names(self) -> Tuple[str, ...]:
+        """Distinct (non-empty) cluster tags in socket order."""
+        names = []
+        for s in self.sockets:
+            if s.cluster and s.cluster not in names:
+                names.append(s.cluster)
+        return tuple(names)
+
+    def cluster_totals(self) -> Dict[str, float]:
+        """Per-cluster power planes, keyed :func:`cluster_domain`.
+
+        Each cluster's package plane is computed as the sum of its
+        component planes, so the per-cluster conservation invariant
+        (``core + uncore + dram == package``) holds exactly.
+        """
+        planes: Dict[str, float] = {}
+        for name in self.cluster_names():
+            members = [s for s in self.sockets if s.cluster == name]
+            core = sum(s.core_w for s in members)
+            uncore = sum(s.uncore_w for s in members)
+            dram = sum(s.dram_w for s in members)
+            planes[cluster_domain(name, "core")] = core
+            planes[cluster_domain(name, "uncore")] = uncore
+            planes[cluster_domain(name, "dram")] = dram
+            planes[cluster_domain(name, "package")] = core + uncore + dram
+        return planes
+
     def scaled(self, factor: float) -> "PowerBreakdown":
         """Every plane multiplied by ``factor`` (measurement noise is
         multiplicative, so a noisy package reading scales all domains
@@ -113,6 +155,7 @@ class PowerBreakdown:
                     core_w=s.core_w * factor,
                     uncore_w=s.uncore_w * factor,
                     dram_w=s.dram_w * factor,
+                    cluster=s.cluster,
                 )
                 for s in self.sockets
             )
@@ -143,12 +186,36 @@ class PowerModel:
     smt_thread_w: float = 0.65
     dram_max_w: float = 9.0  # per socket at full bandwidth
 
-    def idle_power(self, machine: Machine) -> float:
-        """Whole-package idle power (both sockets powered)."""
-        return (
-            machine.sockets * self.uncore_w
-            + machine.physical_cores * self.idle_core_w
+    def envelope(self, machine: Machine, socket: int) -> ClusterPower:
+        """The power envelope in effect on ``socket``.
+
+        A cluster carrying its own :class:`ClusterPower` uses it; the
+        rest fall back to this model's calibrated Xeon constants.
+        """
+        cluster = machine.cluster(socket)
+        if cluster.power is not None:
+            return cluster.power
+        return ClusterPower(
+            uncore_w=self.uncore_w,
+            idle_core_w=self.idle_core_w,
+            active_core_w=self.active_core_w,
+            smt_thread_w=self.smt_thread_w,
+            dram_max_w=self.dram_max_w,
         )
+
+    def idle_power(self, machine: Machine) -> float:
+        """Whole-package idle power (all sockets powered)."""
+        if machine.is_homogeneous:
+            env = self.envelope(machine, 0)
+            return (
+                machine.sockets * env.uncore_w
+                + machine.physical_cores * env.idle_core_w
+            )
+        total = 0.0
+        for socket in range(machine.sockets):
+            env = self.envelope(machine, socket)
+            total += env.uncore_w + machine.cluster(socket).cores * env.idle_core_w
+        return total
 
     def active_power(
         self,
@@ -157,20 +224,36 @@ class PowerModel:
         intensity: float,
         utilization: float,
         bandwidth_share: float,
+        freq_power: Optional[Mapping[int, float]] = None,
     ) -> float:
         """Average package power while the kernel runs.
 
         ``intensity`` is the compiled kernel's power-intensity factor,
         ``utilization`` the fraction of time cores do work rather than
         stall, and ``bandwidth_share`` the fraction of total DRAM
-        bandwidth in use.
+        bandwidth in use.  ``freq_power`` (heterogeneous machines only)
+        maps sockets to the dynamic-power factor of the DVFS state their
+        cluster is running at.
         """
-        power = self.idle_power(machine)
-        busy_cores = placement.cores_used
-        power += busy_cores * self.active_core_w * intensity * utilization
-        power += placement.smt_pairs * self.smt_thread_w * utilization
-        power += len(placement.sockets_used) * self.dram_max_w * bandwidth_share
-        return power
+        if machine.is_homogeneous and freq_power is None:
+            env = self.envelope(machine, 0)
+            power = self.idle_power(machine)
+            busy_cores = placement.cores_used
+            power += busy_cores * env.active_core_w * intensity * utilization
+            power += placement.smt_pairs * env.smt_thread_w * utilization
+            power += len(placement.sockets_used) * env.dram_max_w * bandwidth_share
+            return power
+        # heterogeneous machines attribute per socket; the scalar is the
+        # breakdown's package plane, so conservation is exact by
+        # construction
+        return self.active_breakdown(
+            machine,
+            placement,
+            intensity,
+            utilization,
+            bandwidth_share,
+            freq_power=freq_power,
+        ).package_w
 
     # -- per-domain breakdowns (the virtual-RAPL meters) -----------------------
 
@@ -181,17 +264,20 @@ class PowerModel:
         its uncore power and its cores' idle leakage; DRAM draws
         nothing without traffic.
         """
-        return PowerBreakdown(
-            sockets=tuple(
+        sockets = []
+        for socket in range(machine.sockets):
+            cluster = machine.cluster(socket)
+            env = self.envelope(machine, socket)
+            sockets.append(
                 DomainPower(
                     socket=socket,
-                    core_w=machine.cores_per_socket * self.idle_core_w,
-                    uncore_w=self.uncore_w,
+                    core_w=cluster.cores * env.idle_core_w,
+                    uncore_w=env.uncore_w,
                     dram_w=0.0,
+                    cluster=cluster.name,
                 )
-                for socket in range(machine.sockets)
             )
-        )
+        return PowerBreakdown(sockets=tuple(sockets))
 
     def active_breakdown(
         self,
@@ -200,6 +286,7 @@ class PowerModel:
         intensity: float,
         utilization: float,
         bandwidth_share: float,
+        freq_power: Optional[Mapping[int, float]] = None,
     ) -> PowerBreakdown:
         """Per-socket, per-domain split of :meth:`active_power`.
 
@@ -221,23 +308,30 @@ class PowerModel:
         sockets_used = set(placement.sockets_used)
         sockets = []
         for socket in range(machine.sockets):
-            core_w = machine.cores_per_socket * self.idle_core_w
-            core_w += (
+            cluster = machine.cluster(socket)
+            env = self.envelope(machine, socket)
+            core_w = cluster.cores * env.idle_core_w
+            active_w = (
                 len(busy_cores_per_socket.get(socket, ()))
-                * self.active_core_w
+                * env.active_core_w
                 * intensity
                 * utilization
             )
+            factor = freq_power.get(socket, 1.0) if freq_power else 1.0
+            if factor != 1.0:
+                active_w *= factor
+            core_w += active_w
             core_w += (
-                smt_pairs_per_socket.get(socket, 0) * self.smt_thread_w * utilization
+                smt_pairs_per_socket.get(socket, 0) * env.smt_thread_w * utilization
             )
-            dram_w = self.dram_max_w * bandwidth_share if socket in sockets_used else 0.0
+            dram_w = env.dram_max_w * bandwidth_share if socket in sockets_used else 0.0
             sockets.append(
                 DomainPower(
                     socket=socket,
                     core_w=core_w,
-                    uncore_w=self.uncore_w,
+                    uncore_w=env.uncore_w,
                     dram_w=dram_w,
+                    cluster=cluster.name,
                 )
             )
         return PowerBreakdown(sockets=tuple(sockets))

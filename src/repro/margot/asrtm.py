@@ -62,6 +62,7 @@ class ApplicationRuntimeManager:
         self._observations: Dict[str, Monitor] = {}
         self._current: Optional[OperatingPoint] = None
         self._audit = audit
+        self._knob_filters: Dict[str, object] = {}
 
     # -- state management -----------------------------------------------------
 
@@ -127,6 +128,31 @@ class ApplicationRuntimeManager:
 
     def reset_feedback(self) -> None:
         self._feedback.clear()
+
+    # -- knob filters -------------------------------------------------------------
+
+    def set_knob_filter(self, name: str, value: object) -> None:
+        """Pin a knob: only operating points with ``knobs[name] == value``
+        are considered until the filter is cleared.
+
+        This is how an external agent (a system-wide resource manager,
+        or the big.LITTLE power governor) restricts the AS-RTM to a
+        subset of the space — e.g. ``set_knob_filter("cluster", "E")``
+        confines selection to the efficiency cluster.  Filters are hard:
+        unlike constraints they are never relaxed.
+        """
+        self._knob_filters[name] = value
+
+    def clear_knob_filter(self, name: str) -> None:
+        """Remove one knob filter (no-op if absent)."""
+        self._knob_filters.pop(name, None)
+
+    def clear_knob_filters(self) -> None:
+        """Remove every knob filter."""
+        self._knob_filters.clear()
+
+    def knob_filters(self) -> Dict[str, object]:
+        return dict(self._knob_filters)
 
     # -- selection ----------------------------------------------------------------
 
@@ -225,6 +251,19 @@ class ApplicationRuntimeManager:
         trace: Optional[List[ConstraintTrace]] = None,
     ) -> List[OperatingPoint]:
         survivors = self._knowledge.points()
+        if self._knob_filters:
+            survivors = [
+                point
+                for point in survivors
+                if all(
+                    point.knobs.get(name) == value
+                    for name, value in self._knob_filters.items()
+                )
+            ]
+            if not survivors:
+                raise AsrtmError(
+                    f"knob filters {self._knob_filters!r} match no operating point"
+                )
         for constraint in state.constraints:
             adjust = self._feedback.get(constraint.goal.field, 1.0)
             before = len(survivors)

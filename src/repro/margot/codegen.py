@@ -52,9 +52,10 @@ def generate_margot_header(
     """Emit the ``margot.h`` text for one kernel.
 
     ``version_index`` maps each (compiler label, binding) pair encoded
-    as ``"<label>|<binding>"`` to the wrapper's version number, so the
-    generated ``margot_update`` can translate the selected operating
-    point into the weaved control variables.
+    as ``"<label>|<binding>"`` — or, when the knowledge carries the
+    cluster knob, ``"<label>|<binding>|<cluster>"`` — to the wrapper's
+    version number, so the generated ``margot_update`` can translate
+    the selected operating point into the weaved control variables.
     """
     if not states:
         raise ValueError("at least one optimization state is required")
@@ -74,12 +75,28 @@ def generate_margot_header(
     # -- knowledge tables -----------------------------------------------------
     versions: List[int] = []
     threads: List[int] = []
+    clustered = any("cluster" in point.knobs for point in points)
+    cluster_names: List[str] = []
+    cluster_ids: List[int] = []
     for point in points:
         key = f"{point.knob('compiler')}|{point.knob('binding')}"
+        if "cluster" in point.knobs:
+            key += f"|{point.knob('cluster')}"
         versions.append(version_index.get(key, 0))
         threads.append(int(point.knob("threads")))  # type: ignore[call-overload]
+        if clustered:
+            name = str(point.knobs.get("cluster", ""))
+            if name not in cluster_names:
+                cluster_names.append(name)
+            cluster_ids.append(cluster_names.index(name))
     lines.append(_int_table("margot_op_version", versions))
     lines.append(_int_table("margot_op_threads", threads))
+    if clustered:
+        mapping = ", ".join(
+            f"{index}={name}" for index, name in enumerate(cluster_names)
+        )
+        lines.append(f"/* cluster ids: {mapping} */")
+        lines.append(_int_table("margot_op_cluster", cluster_ids))
     for metric in knowledge.metric_names:
         means = [point.metric(metric).mean for point in points]
         stds = [point.metric(metric).std for point in points]

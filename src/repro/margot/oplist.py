@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.margot.knowledge import KnowledgeBase, MetricStats, OperatingPoint
 
@@ -50,8 +50,16 @@ def _decode_knob(entry: Dict[str, object]) -> object:
     raise OplistError(f"unknown knob type {kind!r}")
 
 
-def knowledge_to_dict(knowledge: KnowledgeBase) -> Dict[str, object]:
-    """Serialize a knowledge base into a JSON-ready document."""
+def knowledge_to_dict(
+    knowledge: KnowledgeBase, machine: Optional[str] = None
+) -> Dict[str, object]:
+    """Serialize a knowledge base into a JSON-ready document.
+
+    ``machine`` records which registry platform the campaign profiled
+    (knowledge is machine-specific; a ``biglittle_4p4e`` oplist is
+    meaningless on ``xeon_2s``).  It is omitted when not given, keeping
+    historical documents byte-identical.
+    """
     points: List[Dict[str, object]] = []
     for point in knowledge:
         points.append(
@@ -63,7 +71,10 @@ def knowledge_to_dict(knowledge: KnowledgeBase) -> Dict[str, object]:
                 },
             }
         )
-    return {"format": _FORMAT_VERSION, "points": points}
+    document: Dict[str, object] = {"format": _FORMAT_VERSION, "points": points}
+    if machine is not None:
+        document["machine"] = machine
+    return document
 
 
 def knowledge_from_dict(document: Dict[str, object]) -> KnowledgeBase:
@@ -83,9 +94,19 @@ def knowledge_from_dict(document: Dict[str, object]) -> KnowledgeBase:
     return knowledge
 
 
-def save_knowledge(knowledge: KnowledgeBase, path: Union[str, Path]) -> None:
+def oplist_machine(document: Dict[str, object]) -> Optional[str]:
+    """The registry-machine name recorded in an oplist document, if any."""
+    machine = document.get("machine")
+    return str(machine) if machine is not None else None
+
+
+def save_knowledge(
+    knowledge: KnowledgeBase, path: Union[str, Path], machine: Optional[str] = None
+) -> None:
     """Write the oplist JSON file for ``knowledge``."""
-    Path(path).write_text(json.dumps(knowledge_to_dict(knowledge), indent=2))
+    Path(path).write_text(
+        json.dumps(knowledge_to_dict(knowledge, machine=machine), indent=2)
+    )
 
 
 def load_knowledge(path: Union[str, Path]) -> KnowledgeBase:

@@ -62,8 +62,24 @@ def _domain_zeros() -> Dict[str, float]:
 
 
 def _add_domains(into: Dict[str, float], add: Mapping[str, float]) -> None:
-    for domain in DOMAINS:
-        into[domain] += add.get(domain, 0.0)
+    """Accumulate per-domain values, growing ``into`` as needed.
+
+    Machine-wide domains are always present; per-cluster planes
+    (``"P:package"``-style keys from heterogeneous machines) appear
+    only when the source carries them.
+    """
+    for domain, value in add.items():
+        into[domain] = into.get(domain, 0.0) + value
+
+
+def _extra_domains(mappings: Sequence[Mapping[str, float]]) -> List[str]:
+    """Ordered distinct keys beyond :data:`DOMAINS` (cluster planes)."""
+    extras: List[str] = []
+    for mapping in mappings:
+        for domain in mapping:
+            if domain not in DOMAINS and domain not in extras:
+                extras.append(domain)
+    return extras
 
 
 @dataclass(frozen=True)
@@ -78,6 +94,7 @@ class EnergySample:
     compiler: str = ""
     threads: int = 0
     binding: str = ""
+    cluster: str = ""
 
     @property
     def duration_s(self) -> float:
@@ -115,6 +132,14 @@ class EnergyTimeline:
     def duration_s(self) -> float:
         return self.end_s - self.start_s
 
+    def domains(self) -> List[str]:
+        """Every power plane of this timeline: the machine-wide RAPL
+        domains plus, on heterogeneous machines, one plane per
+        (cluster, domain) pair."""
+        return list(DOMAINS) + _extra_domains(
+            [sample.power_w for sample in self.samples]
+        )
+
     def totals_j(self) -> Dict[str, float]:
         """Total joules per domain over the whole timeline."""
         totals = _domain_zeros()
@@ -149,7 +174,7 @@ class EnergyTimeline:
         Timestamps are the scenario's *virtual* microseconds.
         """
         events: List[Dict[str, object]] = []
-        for domain in DOMAINS:
+        for domain in self.domains():
             name = f"power.{domain}"
             for sample in self.samples:
                 events.append(
@@ -174,26 +199,36 @@ class EnergyTimeline:
         return events
 
     def to_csv(self, path: PathLike) -> int:
-        """Write the timeline as CSV; returns the number of rows."""
+        """Write the timeline as CSV; returns the number of rows.
+
+        Cluster-plane columns (and the ``cluster`` knob column) appear
+        only on timelines that carry them, keeping homogeneous-machine
+        files byte-identical.
+        """
+        domains = self.domains()
+        clustered = len(domains) > len(DOMAINS)
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(
-                ["start_s", "end_s", "kind", "compiler", "threads", "binding"]
-                + [f"{domain}_w" for domain in DOMAINS]
-            )
+            knob_columns = ["start_s", "end_s", "kind", "compiler", "threads", "binding"]
+            if clustered:
+                knob_columns.append("cluster")
+            writer.writerow(knob_columns + [f"{domain}_w" for domain in domains])
             for sample in self.samples:
+                row = [
+                    repr(float(sample.start_s)),
+                    repr(float(sample.end_s)),
+                    sample.kind,
+                    sample.compiler,
+                    sample.threads,
+                    sample.binding,
+                ]
+                if clustered:
+                    row.append(sample.cluster)
                 writer.writerow(
-                    [
-                        repr(float(sample.start_s)),
-                        repr(float(sample.end_s)),
-                        sample.kind,
-                        sample.compiler,
-                        sample.threads,
-                        sample.binding,
-                    ]
+                    row
                     + [
                         repr(float(sample.power_w.get(domain, 0.0)))
-                        for domain in DOMAINS
+                        for domain in domains
                     ]
                 )
         return len(self.samples)
@@ -208,7 +243,7 @@ class EnergyTimeline:
         """
         totals = self.totals_j()
         means = self.mean_power_w()
-        for domain in DOMAINS:
+        for domain in self.domains():
             labels = {"domain": domain, "kernel": self.kernel}
             metrics.counter(
                 "socrates_energy_joules_total",
@@ -231,13 +266,21 @@ def attribute_record(app, record) -> Dict[str, float]:
     exactly (meter noise is multiplicative, so it scales all domains
     alike).
     """
-    version, placement = app.resolve(record.compiler, record.binding, record.threads)
+    version, placement = app.resolve(
+        record.compiler,
+        record.binding,
+        record.threads,
+        getattr(record, "cluster", "") or None,
+    )
     breakdown = app.executor.breakdown(version.compiled, placement)
     truth_package = breakdown.package_w
     scale = record.power_w / truth_package if truth_package > 0 else 0.0
     power = {"package": record.power_w}
     for domain in COMPONENT_DOMAINS:
         power[domain] = breakdown.domain(domain) * scale
+    if len(breakdown.cluster_names()) >= 2:
+        for plane, watts in breakdown.cluster_totals().items():
+            power[plane] = watts * scale
     return power
 
 
@@ -251,7 +294,10 @@ def build_timeline(app, records, include_idle: bool = True) -> EnergyTimeline:
     between consecutive invocations is filled with the machine's idle
     floor (uncore + idle core leakage, zero DRAM).
     """
-    idle_power = app.executor.idle_breakdown().totals()
+    idle_breakdown = app.executor.idle_breakdown()
+    idle_power = idle_breakdown.totals()
+    if len(idle_breakdown.cluster_names()) >= 2:
+        idle_power.update(idle_breakdown.cluster_totals())
     samples: List[EnergySample] = []
     previous_end: Optional[float] = None
     for record in records:
@@ -280,6 +326,7 @@ def build_timeline(app, records, include_idle: bool = True) -> EnergyTimeline:
                 compiler=record.compiler,
                 threads=record.threads,
                 binding=record.binding,
+                cluster=getattr(record, "cluster", ""),
             )
         )
         previous_end = record.timestamp
@@ -298,16 +345,18 @@ class LedgerEntry:
     threads: int
     binding: str
     kind: str = "active"  # "active" | "idle"
+    cluster: str = ""
     invocations: int = 0
     time_s: float = 0.0
     energy_j: Dict[str, float] = field(default_factory=_domain_zeros)
 
     @property
-    def key(self) -> Tuple[str, str, int, str]:
-        return (self.kernel, self.compiler, self.threads, self.binding)
+    def key(self) -> Tuple[object, ...]:
+        base = (self.kernel, self.compiler, self.threads, self.binding)
+        return base + ((self.cluster,) if self.cluster else ())
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "kernel": self.kernel,
             "compiler": self.compiler,
             "threads": self.threads,
@@ -317,6 +366,9 @@ class LedgerEntry:
             "time_s": self.time_s,
             "energy_j": dict(self.energy_j),
         }
+        if self.cluster:
+            document["cluster"] = self.cluster
+        return document
 
 
 @dataclass
@@ -353,7 +405,7 @@ class EnergyLedger:
     def __init__(self, kernel: str) -> None:
         self.kernel = kernel
         self.duration_s = 0.0
-        self._entries: Dict[Tuple[str, str, int, str], LedgerEntry] = {}
+        self._entries: Dict[Tuple[object, ...], LedgerEntry] = {}
         self._idle = LedgerEntry(
             kernel=kernel, compiler="", threads=0, binding="", kind="idle"
         )
@@ -391,7 +443,14 @@ class EnergyLedger:
         if sample.kind == "idle":
             entry = self._idle
         else:
-            key = (sample.kernel, sample.compiler, sample.threads, sample.binding)
+            cluster = getattr(sample, "cluster", "")
+            key = (
+                sample.kernel,
+                sample.compiler,
+                sample.threads,
+                sample.binding,
+                cluster,
+            )
             entry = self._entries.get(key)
             if entry is None:
                 entry = LedgerEntry(
@@ -399,6 +458,7 @@ class EnergyLedger:
                     compiler=sample.compiler,
                     threads=sample.threads,
                     binding=sample.binding,
+                    cluster=cluster,
                 )
                 self._entries[key] = entry
             entry.invocations += 1
@@ -524,6 +584,36 @@ def _check_domain_closure(
             f"{label}: domain sum {components!r} J != package {package!r} J "
             f"(tolerance {tolerance:g})"
         )
+    # the same invariant holds within every cluster plane ("P:core" +
+    # "P:uncore" + "P:dram" == "P:package"), and the cluster packages
+    # must themselves tile the machine-wide package
+    clusters = []
+    for key in energy:
+        if ":" in key:
+            prefix = key.split(":", 1)[0]
+            if prefix not in clusters:
+                clusters.append(prefix)
+    if not clusters:
+        return
+    cluster_package_sum = 0.0
+    for prefix in clusters:
+        cluster_package = energy.get(f"{prefix}:package", 0.0)
+        cluster_components = sum(
+            energy.get(f"{prefix}:{domain}", 0.0) for domain in COMPONENT_DOMAINS
+        )
+        if abs(cluster_components - cluster_package) > tolerance * max(
+            1.0, abs(cluster_package)
+        ):
+            raise LedgerConservationError(
+                f"{label}: cluster {prefix!r} domain sum {cluster_components!r} J "
+                f"!= cluster package {cluster_package!r} J (tolerance {tolerance:g})"
+            )
+        cluster_package_sum += cluster_package
+    if abs(cluster_package_sum - package) > tolerance * max(1.0, abs(package)):
+        raise LedgerConservationError(
+            f"{label}: cluster packages sum to {cluster_package_sum!r} J "
+            f"!= machine package {package!r} J (tolerance {tolerance:g})"
+        )
 
 
 # -- budget SLOs --------------------------------------------------------------
@@ -534,15 +624,18 @@ class EnergyBudget:
     """A declared power/energy budget (the Figure 4 sweep values).
 
     Any subset of the three limits may be set: ``power_w`` caps the
-    time-averaged package power, ``peak_power_w`` the instantaneous
-    package power of any segment, ``energy_j`` the total package
-    joules.
+    time-averaged power, ``peak_power_w`` the instantaneous power of
+    any segment, ``energy_j`` the total joules.  ``domain`` selects the
+    power plane the limits apply to — ``"package"`` (default) for the
+    machine-wide budget, a RAPL component, or a per-cluster plane such
+    as ``"P:package"`` on heterogeneous machines.
     """
 
     name: str
     power_w: Optional[float] = None
     peak_power_w: Optional[float] = None
     energy_j: Optional[float] = None
+    domain: str = "package"
 
     def __post_init__(self) -> None:
         if self.power_w is None and self.peak_power_w is None and self.energy_j is None:
@@ -573,7 +666,7 @@ class BudgetVerdict:
         return f"budget {self.budget.name!r}: VIOLATED ({'; '.join(self.violations)})"
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "budget": self.budget.name,
             "power_w": self.budget.power_w,
             "peak_power_w": self.budget.peak_power_w,
@@ -584,6 +677,9 @@ class BudgetVerdict:
             "ok": self.ok,
             "violations": list(self.violations),
         }
+        if self.budget.domain != "package":
+            document["domain"] = self.budget.domain
+        return document
 
 
 def check_budgets(
@@ -600,23 +696,28 @@ def check_budgets(
     ``audit`` — the same audit log that explains the adaptation
     decisions the violation may have been caused by.
     """
-    mean = timeline.mean_power_w().get("package", 0.0)
-    peak = timeline.peak_power_w("package")
-    total = timeline.totals_j().get("package", 0.0)
+    all_means = timeline.mean_power_w()
+    all_totals = timeline.totals_j()
     verdicts: List[BudgetVerdict] = []
     for budget in budgets:
+        domain = budget.domain
+        mean = all_means.get(domain, 0.0)
+        peak = timeline.peak_power_w(domain)
+        total = all_totals.get(domain, 0.0)
+        plane = "" if domain == "package" else f"{domain} "
         violations: List[str] = []
         if budget.power_w is not None and mean > budget.power_w:
             violations.append(
-                f"mean power {mean:.2f} W exceeds budget {budget.power_w:.2f} W"
+                f"mean {plane}power {mean:.2f} W exceeds budget {budget.power_w:.2f} W"
             )
         if budget.peak_power_w is not None and peak > budget.peak_power_w:
             violations.append(
-                f"peak power {peak:.2f} W exceeds budget {budget.peak_power_w:.2f} W"
+                f"peak {plane}power {peak:.2f} W exceeds budget "
+                f"{budget.peak_power_w:.2f} W"
             )
         if budget.energy_j is not None and total > budget.energy_j:
             violations.append(
-                f"energy {total:.2f} J exceeds budget {budget.energy_j:.2f} J"
+                f"{plane}energy {total:.2f} J exceeds budget {budget.energy_j:.2f} J"
             )
         verdict = BudgetVerdict(
             budget=budget,

@@ -35,10 +35,11 @@ from repro.bench.gate import (
     DEFAULT_THRESHOLD,
     EnergyVerdict,
     GateReport,
+    RatioVerdict,
     StageVerdict,
     compare_result,
 )
-from repro.bench.measure import SpanTimer, peak_rss_kb
+from repro.bench.measure import AlertOverheadProbe, SpanTimer, peak_rss_kb
 from repro.bench.scenarios import (
     BenchScenario,
     ScenarioResult,
@@ -55,10 +56,12 @@ __all__ = [
     "DEFAULT_MAD_K",
     "DEFAULT_MIN_DELTA_S",
     "DEFAULT_THRESHOLD",
+    "AlertOverheadProbe",
     "BenchBaseline",
     "BenchScenario",
     "EnergyVerdict",
     "GateReport",
+    "RatioVerdict",
     "RobustStats",
     "ScenarioResult",
     "SpanTimer",

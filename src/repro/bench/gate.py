@@ -95,6 +95,33 @@ class EnergyVerdict:
         }
 
 
+@dataclass(frozen=True)
+class RatioVerdict:
+    """One named dimensionless ratio against its hand-committed cap.
+
+    Unlike timings, ratio caps are absolute (no MAD scaling): a ratio
+    such as the alerting/plain overhead is already self-normalized
+    against the machine's speed, so the committed limit applies
+    directly.  A fresh run that stopped publishing a gated ratio
+    regresses too — silently dropping the measurement must not pass.
+    """
+
+    name: str
+    baseline_ratio: float
+    fresh: float
+    limit: float
+    regressed: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "baseline_ratio": self.baseline_ratio,
+            "fresh": self.fresh,
+            "limit": self.limit,
+            "regressed": self.regressed,
+        }
+
+
 @dataclass
 class GateReport:
     """The full verdict of one scenario comparison."""
@@ -106,6 +133,7 @@ class GateReport:
     fingerprint_diffs: Dict[str, object] = field(default_factory=dict)
     diff: Optional[TraceDiff] = None
     energy: List[EnergyVerdict] = field(default_factory=list)
+    ratios: List[RatioVerdict] = field(default_factory=list)
 
     @property
     def offenders(self) -> List[StageVerdict]:
@@ -130,6 +158,7 @@ class GateReport:
             and not self.wall.regressed
             and not any(verdict.regressed for verdict in self.stages)
             and not any(verdict.regressed for verdict in self.energy)
+            and not any(verdict.regressed for verdict in self.ratios)
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -144,6 +173,10 @@ class GateReport:
             "energy": [verdict.as_dict() for verdict in self.energy],
             "energy_offenders": [
                 verdict.domain for verdict in self.energy_offenders
+            ],
+            "ratios": [verdict.as_dict() for verdict in self.ratios],
+            "ratio_offenders": [
+                verdict.name for verdict in self.ratios if verdict.regressed
             ],
         }
 
@@ -194,6 +227,23 @@ class GateReport:
                     else ""
                 )
                 lines.append(f"  energy within tolerance{detail}")
+        for verdict in self.ratios:
+            if verdict.regressed:
+                fresh = (
+                    "missing"
+                    if verdict.fresh != verdict.fresh  # NaN = not published
+                    else f"{verdict.fresh:.4f}"
+                )
+                lines.append(
+                    f"  RATIO '{verdict.name}' REGRESSED: {fresh} "
+                    f"over cap {verdict.limit:.4f} "
+                    f"(baseline {verdict.baseline_ratio:.4f})"
+                )
+            else:
+                lines.append(
+                    f"  ratio '{verdict.name}' {verdict.fresh:.4f} "
+                    f"within cap {verdict.limit:.4f}"
+                )
         if self.diff is not None:
             lines.append("  trace diff (baseline -> fresh, |delta| desc):")
             lines.extend(
@@ -310,6 +360,28 @@ def compare_result(
             )
         )
 
+    # gated ratios: only names with a hand-committed cap in the
+    # baseline participate; a cap without a fresh measurement regresses
+    ratio_verdicts: List[RatioVerdict] = []
+    for name in sorted(baseline.ratio_limits):
+        limit = baseline.ratio_limits[name]
+        samples = result.ratios.get(name, [])
+        if samples:
+            fresh_ratio = median(samples)
+            regressed = fresh_ratio > limit
+        else:
+            fresh_ratio = float("nan")
+            regressed = True
+        ratio_verdicts.append(
+            RatioVerdict(
+                name=name,
+                baseline_ratio=baseline.ratios.get(name, 0.0),
+                fresh=fresh_ratio,
+                limit=limit,
+                regressed=regressed,
+            )
+        )
+
     baseline_profile = {
         name: SpanAggregate(count=stage.count, total_s=stage.total_s.median)
         for name, stage in baseline.stages.items()
@@ -329,4 +401,5 @@ def compare_result(
         fingerprint_diffs=fingerprint_diffs,
         diff=diff_profiles(baseline_profile, fresh_profile),
         energy=energy,
+        ratios=ratio_verdicts,
     )

@@ -529,6 +529,191 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_incident(args: argparse.Namespace):
+    """Pick one bundle under ``--dir`` by id prefix or ``--latest``.
+
+    Returns the loaded document.  Raises ValueError (exit 2) when the
+    selection is ambiguous, missing, or the directory has no bundles.
+    """
+    from repro.obs.flight import incident_paths, load_incident
+
+    paths = incident_paths(args.dir)
+    if not paths:
+        raise ValueError(f"{args.dir}: no INC_*.json incident bundles found")
+    prefix = getattr(args, "incident_id", None)
+    if prefix:
+        matches = [
+            path
+            for path in paths
+            if path.stem.removeprefix("INC_").startswith(prefix)
+        ]
+        if not matches:
+            raise ValueError(
+                f"{args.dir}: no incident id starts with {prefix!r} "
+                f"({len(paths)} bundle(s) present)"
+            )
+        if len(matches) > 1:
+            names = ", ".join(path.stem.removeprefix("INC_") for path in matches)
+            raise ValueError(f"incident id prefix {prefix!r} is ambiguous: {names}")
+        return load_incident(matches[0])
+    # --latest: highest alert timestamp wins, path name as tie-break
+    documents = [load_incident(path) for path in paths]
+    return max(documents, key=lambda doc: (doc.get("t", 0.0), doc.get("incident_id")))
+
+
+def cmd_obs_incidents_record(args: argparse.Namespace) -> int:
+    """Inject a power-cap violation and record the incident bundles.
+
+    Runs a 3-phase MAPE-K scenario on ``--machine`` where the outer
+    phases optimize throughput and blow through ``--power-budget``
+    while the middle phase caps power below it — so the burn-rate
+    detector fires once per violating phase, each alert snapshots the
+    flight recorder into an ``INC_*.json`` bundle, and the run is
+    fully seeded: repeated invocations produce byte-identical bundle
+    ids.
+    """
+    from pathlib import Path
+
+    from repro.core.scenario import Phase, Scenario
+    from repro.margot.goal import ComparisonFunction, Goal
+    from repro.margot.state import (
+        Constraint,
+        OptimizationState,
+        maximize_throughput,
+    )
+    from repro.obs import Observability
+    from repro.obs.alerts import AlertPolicy
+    from repro.obs.energy import EnergyBudget
+
+    policy = AlertPolicy(
+        budgets=(EnergyBudget("package_cap", power_w=args.power_budget),),
+        burn_short_s=0.1,
+        burn_long_s=0.5,
+    )
+    obs = Observability(alerting=True, alert_policy=policy)
+    engine = obs.alerts
+    assert engine is not None
+    if args.baseline:
+        from repro.bench import load_baseline
+
+        engine.baseline = load_baseline(args.baseline)
+    flow = _toolflow(args, obs=obs)
+    app_def = _load_app(args.app)
+    print(f"Building adaptive {app_def.name} on {flow.machine.name} (alerting)...")
+    result = flow.build(app_def)
+    app = result.adaptive
+    app.add_state(
+        OptimizationState("Throughput", rank=maximize_throughput()), activate=True
+    )
+    capped = OptimizationState("PowerCap", rank=maximize_throughput())
+    capped.add_constraint(
+        Constraint(Goal("power", ComparisonFunction.LESS_OR_EQUAL, args.power_cap))
+    )
+    app.add_state(capped)
+    third = args.duration / 3.0
+    scenario = Scenario(
+        phases=[
+            Phase(0.0, "Throughput"),
+            Phase(third, "PowerCap"),
+            Phase(2 * third, "Throughput"),
+        ],
+        duration_s=args.duration,
+    )
+    print(
+        f"Injecting power-cap violation: Throughput phases exceed the "
+        f"{args.power_budget:g} W budget, PowerCap holds {args.power_cap:g} W..."
+    )
+    records = scenario.run(app)
+    print(
+        f"{len(records)} invocations, {len(engine.alerts)} alert(s), "
+        f"{len(engine.incidents)} incident(s), "
+        f"{engine.suppressed} suppressed by cooldown"
+    )
+    out_dir = Path(args.out_dir)
+    for bundle in engine.incidents:
+        path = bundle.write(out_dir)
+        offender = bundle.attribution.get("span", "?")
+        print(f"  {bundle.incident_id}  t={bundle.t:7.3f}s  {bundle.alert['name']}")
+        print(f"    attribution: {offender}")
+        print(f"    -> {path}")
+    if obs.audit is not None and obs.audit.incidents:
+        print(
+            f"audit log: {len(obs.audit.incidents)} incident trace(s) "
+            f"cross-linked into {len(obs.audit)} adaptation entries"
+        )
+    if not engine.incidents:
+        print("no incidents fired (nothing written)")
+        return 1
+    return 0
+
+
+def cmd_obs_incidents_list(args: argparse.Namespace) -> int:
+    """One line per bundle under ``--dir``."""
+    from repro.obs.flight import incident_paths, load_incident
+
+    paths = incident_paths(args.dir)
+    if not paths:
+        print(f"{args.dir}: no incident bundles")
+        return 0
+    print(f"{'incident id':18s} {'t':>8s} {'kernel':8s} alert")
+    for path in paths:
+        document = load_incident(path)
+        alert = document.get("alert", {})
+        print(
+            f"{document.get('incident_id', '?'):18s} "
+            f"{document.get('t', 0.0):8.3f} "
+            f"{document.get('kernel', '?'):8s} "
+            f"{alert.get('name', '?')} [{alert.get('severity', '?')}]"
+        )
+    return 0
+
+
+def cmd_obs_incidents_show(args: argparse.Namespace) -> int:
+    """Dump one bundle (JSON, schema-complete)."""
+    import json
+
+    document = _resolve_incident(args)
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_obs_incidents_report(args: argparse.Namespace) -> int:
+    """Human-readable incident report with root-cause attribution."""
+    document = _resolve_incident(args)
+    alert = document.get("alert", {})
+    attribution = document.get("attribution", {})
+    counts = document.get("counts", {})
+    print(f"incident {document.get('incident_id', '?')}")
+    print(f"  kernel:    {document.get('kernel', '?')}")
+    print(f"  fired at:  t={document.get('t', 0.0):.3f}s (virtual)")
+    print(
+        f"  alert:     {alert.get('name', '?')} "
+        f"[{alert.get('detector', '?')}, {alert.get('severity', '?')}]"
+    )
+    print(f"  message:   {alert.get('message', '')}")
+    print(
+        "  window:    "
+        + ", ".join(f"{count} {kind}" for kind, count in sorted(counts.items()))
+    )
+    print("  attribution:")
+    print(f"    domain:  {attribution.get('domain', 'package')}")
+    if "span" in attribution:
+        print(f"    span:    {attribution['span']}")
+    point = attribution.get("operating_point")
+    if isinstance(point, dict):
+        state = point.get("state") or "?"
+        print(f"    state:   {state}")
+    if "energy_j" in attribution:
+        share = attribution.get("energy_share", 0.0)
+        print(
+            f"    energy:  {attribution['energy_j']:.2f} J in window "
+            f"({share:.0%} of window total)"
+        )
+    if "diff_top" in attribution:
+        print(f"    vs baseline: largest span regression {attribution['diff_top']}")
+    return 0
+
+
 def cmd_obs_top(args: argparse.Namespace) -> int:
     """Live ASCII dashboard over the metrics registry.
 
@@ -548,7 +733,16 @@ def cmd_obs_top(args: argparse.Namespace) -> int:
         source = Path(args.from_file)
 
         def frame(number: int) -> str:
-            registry = parse_prometheus_text(source.read_text())
+            try:
+                text = source.read_text()
+            except OSError as error:
+                raise ValueError(
+                    f"{source}: cannot read metrics file ({error})"
+                ) from None
+            try:
+                registry = parse_prometheus_text(text)
+            except ValueError as error:
+                raise ValueError(f"{source}: {error}") from None
             return render_dashboard(
                 registry,
                 width=args.width,
@@ -570,10 +764,18 @@ def cmd_obs_top(args: argparse.Namespace) -> int:
     from repro.obs import Observability
 
     scenario = get_scenario(args.scenario)
-    obs = Observability()
+    obs = Observability(alerting=args.alerts)
     if args.once:
         scenario.runner(obs)
-        print(render_dashboard(obs.metrics, obs.tracer, obs.audit, width=args.width))
+        print(
+            render_dashboard(
+                obs.metrics,
+                obs.tracer,
+                obs.audit,
+                width=args.width,
+                alerts=obs.alerts,
+            )
+        )
         return 0
     done = threading.Event()
 
@@ -585,7 +787,12 @@ def cmd_obs_top(args: argparse.Namespace) -> int:
 
     def frame(number: int) -> str:
         return render_dashboard(
-            obs.metrics, obs.tracer, obs.audit, width=args.width, frame=number
+            obs.metrics,
+            obs.tracer,
+            obs.audit,
+            width=args.width,
+            frame=number,
+            alerts=obs.alerts,
         )
 
     worker = threading.Thread(target=work, daemon=True)
@@ -834,7 +1041,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
 
 
 def _bench_compare_reports(args: argparse.Namespace):
-    """(GateReport, ScenarioResult) per selected scenario."""
+    """(GateReport, ScenarioResult, BenchBaseline) per selected scenario."""
     from pathlib import Path
 
     from repro.bench import (
@@ -857,7 +1064,7 @@ def _bench_compare_reports(args: argparse.Namespace):
             min_delta_s=args.min_delta_s,
             energy_tolerance=args.energy_tolerance,
         )
-        pairs.append((report, result))
+        pairs.append((report, result, baseline))
     return pairs
 
 
@@ -867,9 +1074,9 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
 
     pairs = _bench_compare_reports(args)
     if args.json:
-        print(json.dumps([report.as_dict() for report, _ in pairs], indent=2))
+        print(json.dumps([report.as_dict() for report, _, _ in pairs], indent=2))
         return 0
-    for index, (report, _) in enumerate(pairs):
+    for index, (report, _, _) in enumerate(pairs):
         if index:
             print()
         print(report.format(diff_limit=args.limit))
@@ -889,9 +1096,11 @@ def cmd_bench_gate(args: argparse.Namespace) -> int:
 
         out_dir = Path(args.out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
-        for report, result in pairs:
+        for report, result, baseline in pairs:
             save_baseline(
-                BenchBaseline.from_result(result),
+                BenchBaseline.from_result(
+                    result, ratio_limits=baseline.ratio_limits
+                ),
                 out_dir / baseline_filename(result.scenario),
             )
             with open(out_dir / f"GATE_{result.scenario}.json", "w") as handle:
@@ -909,7 +1118,7 @@ def cmd_bench_gate(args: argparse.Namespace) -> int:
                         + "\n"
                     )
     failed = []
-    for index, (report, _) in enumerate(pairs):
+    for index, (report, _, _) in enumerate(pairs):
         if index:
             print()
         print(report.format(diff_limit=args.limit))
@@ -1272,7 +1481,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--refresh", type=float, default=1.0, help="seconds between redraws"
     )
     p.add_argument("--width", type=int, default=72)
+    p.add_argument(
+        "--alerts",
+        action="store_true",
+        help="run the scenario with streaming SLO alerting and show the alerts panel",
+    )
     p.set_defaults(func=cmd_obs_top)
+
+    p = obs_sub.add_parser(
+        "incidents",
+        help="flight-recorder incident pipeline: record, list, inspect bundles",
+    )
+    incidents_sub = p.add_subparsers(dest="incidents_command", required=True)
+    p = incidents_sub.add_parser(
+        "record",
+        help="inject a power-cap violation and write INC_*.json bundles",
+    )
+    p.add_argument(
+        "app",
+        nargs="?",
+        default="mvt",
+        help="benchmark name (default: mvt; see `socrates list`)",
+    )
+    _add_machine_argument(p)
+    p.set_defaults(machine="biglittle_8p8e")
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=3.0,
+        help="virtual seconds of the 3-phase scenario",
+    )
+    p.add_argument(
+        "--power-budget",
+        type=float,
+        default=40.0,
+        help="package power budget in W the Throughput phases violate",
+    )
+    p.add_argument(
+        "--power-cap",
+        type=float,
+        default=22.0,
+        help="power constraint in W of the compliant PowerCap state",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="BENCH.json",
+        help="bench baseline for span-diff attribution inside the bundles",
+    )
+    p.add_argument("--threads", help="comma-separated thread counts for the DSE")
+    p.add_argument("--repetitions", type=int, default=2)
+    p.add_argument("--out-dir", default="incidents", help="bundle output directory")
+    p.set_defaults(func=cmd_obs_incidents_record)
+    p = incidents_sub.add_parser("list", help="list recorded incident bundles")
+    p.add_argument("--dir", default="incidents", help="bundle directory")
+    p.set_defaults(func=cmd_obs_incidents_list)
+    p = incidents_sub.add_parser("show", help="dump one bundle as JSON")
+    p.add_argument("incident_id", help="incident id (unambiguous prefix ok)")
+    p.add_argument("--dir", default="incidents", help="bundle directory")
+    p.set_defaults(func=cmd_obs_incidents_show)
+    p = incidents_sub.add_parser(
+        "report", help="human-readable report with root-cause attribution"
+    )
+    p.add_argument(
+        "incident_id",
+        nargs="?",
+        help="incident id prefix (omit for --latest behavior)",
+    )
+    p.add_argument(
+        "--latest",
+        action="store_true",
+        help="report the most recent incident (default when no id given)",
+    )
+    p.add_argument("--dir", default="incidents", help="bundle directory")
+    p.set_defaults(func=cmd_obs_incidents_report)
 
     p = subparsers.add_parser(
         "energy",

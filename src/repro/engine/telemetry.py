@@ -100,8 +100,9 @@ class TelemetryRecorder:
         before = self._engine.counters
         start = time.perf_counter()
         ok = True
+        span = None
         try:
-            with self._tracer.span(f"stage:{name}"):
+            with self._tracer.span(f"stage:{name}") as span:
                 yield
         except BaseException:
             ok = False
@@ -109,11 +110,16 @@ class TelemetryRecorder:
         finally:
             wall = time.perf_counter() - start
             after = self._engine.counters
+            # The span that landed in this bucket becomes the bucket's
+            # OpenMetrics exemplar (span is None under NULL_TRACER).
             self._metrics.histogram(
                 "socrates_stage_duration_seconds",
                 help="wall time of each pipeline stage",
                 labels={"stage": name},
-            ).observe(wall)
+            ).observe(
+                wall,
+                exemplar={"span_id": str(span.span_id)} if span is not None else None,
+            )
             self._events.append(
                 StageEvent(
                     stage=name,

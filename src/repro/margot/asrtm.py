@@ -62,6 +62,7 @@ class ApplicationRuntimeManager:
         self._observations: Dict[str, Monitor] = {}
         self._current: Optional[OperatingPoint] = None
         self._audit = audit
+        self._alerts = None
         self._knob_filters: Dict[str, object] = {}
 
     # -- state management -----------------------------------------------------
@@ -181,9 +182,21 @@ class ApplicationRuntimeManager:
             # point must not be attributed to the new one
             for monitor in self._observations.values():
                 monitor.clear()
+        entry = None
         if auditing and switched:
-            self._record_audit(
+            entry = self._record_audit(
                 state, best, ranked, constraint_traces or [], now=now
+            )
+        if switched and self._alerts is not None:
+            # Cross-link the deliberate switch into the alerting
+            # stream: incident windows show surrounding adaptations,
+            # and the CUSUM reference re-warms so an *intended* power
+            # change is not reported as a change-point anomaly.
+            self._alerts.observe_adaptation(
+                now=now if now is not None else 0.0,
+                state=state.name,
+                winner=dict(best.knobs),
+                entry=entry,
             )
         self._current = best
         return best
@@ -200,6 +213,10 @@ class ApplicationRuntimeManager:
         """Enable (or disable, with ``None``) adaptation auditing."""
         self._audit = audit
 
+    def attach_alerts(self, alerts) -> None:
+        """Notify an :class:`~repro.obs.alerts.AlertEngine` of switches."""
+        self._alerts = alerts
+
     def _record_audit(
         self,
         state: OptimizationState,
@@ -207,7 +224,7 @@ class ApplicationRuntimeManager:
         ranked: List[Tuple[OperatingPoint, float]],
         constraint_traces: List[ConstraintTrace],
         now: Optional[float],
-    ) -> None:
+    ) -> AdaptationEntry:
         assert self._audit is not None
         limit = self._audit.max_candidates
         candidates = [
@@ -217,7 +234,7 @@ class ApplicationRuntimeManager:
         winner_rank = next(
             value for point, value in ranked if point.key == best.key
         )
-        self._audit.record(
+        return self._audit.record(
             AdaptationEntry(
                 sequence=self._audit.next_sequence(),
                 timestamp=now,

@@ -30,6 +30,16 @@ energy observatory reconstructs per-domain power(t) timelines from
 runtime traces, books joules onto operating points in an
 :class:`~repro.obs.energy.EnergyLedger`, and watches declared
 power/energy budgets (``socrates energy report|timeline|slo``).
+
+The *streaming* layer (:mod:`repro.obs.stream`,
+:mod:`repro.obs.alerts`, :mod:`repro.obs.flight`) turns the same
+telemetry into online verdicts: construct with ``alerting=True`` and
+:attr:`Observability.alerts` carries an
+:class:`~repro.obs.alerts.AlertEngine` whose detectors watch span
+closures, metric updates and energy samples on a virtual-time bus,
+snapshotting a bounded flight recorder into deterministic incident
+bundles when an SLO burns (``socrates obs incidents``).  With alerting
+off, ``alerts`` is ``None`` and every hook is one attribute lookup.
 """
 
 from __future__ import annotations
@@ -68,11 +78,18 @@ from repro.obs.metrics import (
     NULL_METRICS,
     NullMetricsRegistry,
 )
+from repro.obs.alerts import Alert, AlertEngine, AlertPolicy, latency_slos_from_baselines
+from repro.obs.audit import IncidentTrace
+from repro.obs.flight import INCIDENT_SCHEMA, FlightRecorder, IncidentBundle
+from repro.obs.stream import NULL_BUS, NullTelemetryBus, StreamEvent, TelemetryBus
 from repro.obs.tracing import MAIN_TRACK, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "AdaptationAuditLog",
     "AdaptationEntry",
+    "Alert",
+    "AlertEngine",
+    "AlertPolicy",
     "BudgetVerdict",
     "CandidateTrace",
     "CheckTrace",
@@ -82,6 +99,10 @@ __all__ = [
     "EnergyLedger",
     "EnergySample",
     "EnergyTimeline",
+    "FlightRecorder",
+    "INCIDENT_SCHEMA",
+    "IncidentBundle",
+    "IncidentTrace",
     "LedgerConservationError",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
@@ -89,20 +110,25 @@ __all__ = [
     "Histogram",
     "MAIN_TRACK",
     "MetricsRegistry",
+    "NULL_BUS",
     "NULL_METRICS",
     "NULL_OBS",
     "NULL_TRACER",
     "NullMetricsRegistry",
+    "NullTelemetryBus",
     "NullTracer",
     "Observability",
     "SloTrace",
     "Span",
+    "StreamEvent",
+    "TelemetryBus",
     "Tracer",
     "attribute_record",
     "build_timeline",
     "check_budgets",
     "compose_reason",
     "describe_rank",
+    "latency_slos_from_baselines",
 ]
 
 
@@ -114,14 +140,22 @@ class Observability:
         enabled: bool = True,
         max_audit_candidates: int = 5,
         clock: Callable[[], float] = time.perf_counter,
+        alerting: bool = False,
+        alert_policy: Optional[AlertPolicy] = None,
     ) -> None:
         self.enabled = enabled
+        self.alerts: Optional[AlertEngine] = None
         if enabled:
             self.tracer: Tracer = Tracer(clock=clock)
             self.metrics: MetricsRegistry = MetricsRegistry()
             self.audit: Optional[AdaptationAuditLog] = AdaptationAuditLog(
                 max_candidates=max_audit_candidates
             )
+            if alerting:
+                self.alerts = AlertEngine(
+                    policy=alert_policy, metrics=self.metrics, audit=self.audit
+                )
+                self.tracer.sink = self.alerts
         else:
             self.tracer = NULL_TRACER
             self.metrics = NULL_METRICS
@@ -132,6 +166,8 @@ class Observability:
     def absorb_engine(self, engine) -> None:
         """Mirror an engine's cache/evaluation counters into the registry."""
         self.metrics.absorb_engine_counters(engine.counters)
+        if self.alerts is not None:
+            self.alerts.observe_engine(engine.counters)
 
     def absorb_monitors(self, monitors: Mapping[str, object]) -> None:
         """Mirror mARGOt monitor statistics into the registry."""

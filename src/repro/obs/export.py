@@ -207,6 +207,17 @@ def _histogram_labels(instrument: Histogram, boundary: str) -> str:
     return "{" + body + "}"
 
 
+def _format_exemplar(exemplar: Optional[Tuple]) -> str:
+    """An OpenMetrics exemplar suffix: `` # {span_id="17"} 0.0931``."""
+    if exemplar is None:
+        return ""
+    labels, value = exemplar
+    body = ",".join(
+        f'{key}="{escape_label_value(str(val))}"' for key, val in labels
+    )
+    return " # {" + body + "} " + _format_value(value)
+
+
 def prometheus_text(metrics: MetricsRegistry) -> str:
     """The registry in the Prometheus text exposition format.
 
@@ -229,14 +240,19 @@ def prometheus_text(metrics: MetricsRegistry) -> str:
         labels = format_labels(instrument.labels)  # type: ignore[attr-defined]
         if isinstance(instrument, Histogram):
             cumulative = instrument.cumulative_counts()
-            for boundary, count in zip(instrument.boundaries, cumulative):
+            exemplars = instrument.exemplars
+            for index, (boundary, count) in enumerate(
+                zip(instrument.boundaries, cumulative)
+            ):
                 lines.append(
                     f"{name}_bucket"
                     f"{_histogram_labels(instrument, _format_value(boundary))} {count}"
+                    f"{_format_exemplar(exemplars[index])}"
                 )
             lines.append(
                 f"{name}_bucket{_histogram_labels(instrument, '+Inf')} "
                 f"{instrument.count}"
+                f"{_format_exemplar(exemplars[-1])}"
             )
             lines.append(f"{name}_sum{labels} {_format_value(instrument.total)}")
             lines.append(f"{name}_count{labels} {instrument.count}")
@@ -256,7 +272,8 @@ def write_prometheus(metrics: MetricsRegistry, path: PathLike) -> int:
 
 _PARSE_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
 _PARSE_SAMPLE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$"
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*?)\})? (\S+)"
+    r"( # \{(.*)\} (\S+))?$"
 )
 
 
@@ -308,9 +325,17 @@ def parse_prometheus_text(text: str) -> MetricsRegistry:
         match = _PARSE_SAMPLE.match(line)
         if match is None:
             raise ValueError(f"{context}: malformed sample line {line!r}")
-        name, _, label_body, raw_value = match.groups()
+        name, _, label_body, raw_value, exemplar_part, ex_body, ex_value = (
+            match.groups()
+        )
         labels = _parse_label_body(label_body, context) if label_body else []
         value = float(raw_value)
+        exemplar: Optional[Tuple[Tuple[Tuple[str, str], ...], float]] = None
+        if exemplar_part is not None:
+            exemplar = (
+                tuple(_parse_label_body(ex_body or "", context)),
+                float(ex_value),
+            )
         for suffix in ("_bucket", "_sum", "_count"):
             base = name[: -len(suffix)] if name.endswith(suffix) else None
             if base is not None and kinds.get(base) == "histogram":
@@ -319,18 +344,24 @@ def parse_prometheus_text(text: str) -> MetricsRegistry:
                     (k, v) for k, v in labels if k != "le"
                 )
                 series = histograms.setdefault(
-                    (base, rest_labels), {"buckets": [], "sum": 0.0, "count": 0}
+                    (base, rest_labels),
+                    {"buckets": [], "sum": 0.0, "count": 0, "exemplars": []},
                 )
                 if suffix == "_bucket":
                     if not le:
                         raise ValueError(f"{context}: bucket sample lacks 'le'")
                     series["buckets"].append((le[0], int(value)))  # type: ignore[attr-defined]
+                    series["exemplars"].append(exemplar)  # type: ignore[attr-defined]
                 elif suffix == "_sum":
                     series["sum"] = value
                 else:
                     series["count"] = int(value)
                 break
         else:
+            if exemplar is not None:
+                raise ValueError(
+                    f"{context}: exemplar on non-histogram sample {name!r}"
+                )
             scalars.append((name, tuple(labels), value))
 
     registry = MetricsRegistry()
@@ -367,4 +398,15 @@ def parse_prometheus_text(text: str) -> MetricsRegistry:
         instrument.bucket_counts = per_bucket
         instrument.total = float(series["sum"])  # type: ignore[arg-type]
         instrument.count = int(series["count"])  # type: ignore[arg-type]
+        # Re-attach OpenMetrics exemplars bucket by bucket (the +Inf
+        # bucket is the exporter's last line, i.e. the last slot).
+        finite = 0
+        for (le, _), exemplar in zip(series["buckets"], series["exemplars"]):  # type: ignore[arg-type]
+            if le == "+Inf":
+                index = len(instrument.boundaries)
+            else:
+                index = finite
+                finite += 1
+            if exemplar is not None:
+                instrument.exemplars[index] = exemplar
     return registry

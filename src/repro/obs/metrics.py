@@ -184,7 +184,8 @@ class Histogram:
     kind = "histogram"
 
     __slots__ = (
-        "name", "help", "labels", "boundaries", "bucket_counts", "total", "count"
+        "name", "help", "labels", "boundaries", "bucket_counts", "total", "count",
+        "exemplars",
     )
 
     def __init__(
@@ -206,15 +207,27 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(edges) + 1)
         self.total = 0.0
         self.count = 0
+        # OpenMetrics exemplars: per bucket, the labels + value of the
+        # most recent observation that landed there (None = no
+        # exemplar yet).  Lets a dashboard jump from a latency bucket
+        # straight to the span id that produced it.
+        self.exemplars: List[Optional[Tuple[LabelItems, float]]] = [None] * (
+            len(edges) + 1
+        )
 
     @property
     def labelled_name(self) -> str:
         return self.name + format_labels(self.labels)
 
-    def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+    def observe(
+        self, value: float, exemplar: Optional[Mapping[str, str]] = None
+    ) -> None:
+        index = bisect_left(self.boundaries, value)
+        self.bucket_counts[index] += 1
         self.total += value
         self.count += 1
+        if exemplar is not None:
+            self.exemplars[index] = (canonical_labels(exemplar), float(value))
 
     def cumulative_counts(self) -> List[int]:
         """Cumulative per-bucket counts, Prometheus-style (last = count)."""
@@ -240,6 +253,13 @@ class Histogram:
         }
         if self.labels:
             record["labels"] = dict(self.labels)
+        if any(exemplar is not None for exemplar in self.exemplars):
+            record["exemplars"] = [
+                None
+                if exemplar is None
+                else {"labels": dict(exemplar[0]), "value": exemplar[1]}
+                for exemplar in self.exemplars
+            ]
         return record
 
 
@@ -367,6 +387,7 @@ class _NullInstrument:
     total = 0.0
     count = 0
     boundaries: Tuple[float, ...] = ()
+    exemplars: Tuple = ()
 
     def inc(self, amount: float = 1.0) -> None:
         return None
@@ -377,7 +398,9 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         return None
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[Mapping[str, str]] = None
+    ) -> None:
         return None
 
     def as_dict(self) -> Dict[str, object]:

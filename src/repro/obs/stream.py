@@ -1,0 +1,209 @@
+"""Virtual-time streaming telemetry bus (`repro.obs.stream`).
+
+The post-hoc observability stack (traces, ledgers, budget checks) only
+answers questions *after* a run ends.  The alerting layer needs the
+same telemetry *while it is produced* — span closures, metric updates,
+energy-plane samples and adaptation-audit entries — without disturbing
+the seeded workload.  The bus therefore runs on **virtual time**: the
+clock is the simulated-seconds axis the scenario engine already
+advances deterministically, never the wall clock, so every subscriber
+sees an identical event sequence on identical seeds.
+
+Design rules:
+
+* Events are immutable (:class:`StreamEvent`); heavyweight producers
+  (spans, invocation records) ride along as an opaque ``payload``
+  reference instead of being copied into dicts on the hot path — the
+  flight recorder materializes them lazily at incident time.
+* ``publish`` enforces a **monotone virtual clock**: an event stamped
+  earlier than the bus's high-water mark is a producer bug and raises
+  ``ValueError`` immediately instead of silently reordering history.
+* The disabled path is the shared :data:`NULL_BUS` null object —
+  publishing to it is a no-op, mirroring ``NULL_OBS``/``NULL_TRACER``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Mapping, Optional
+
+__all__ = [
+    "ALERT",
+    "AUDIT",
+    "ENERGY",
+    "METRIC",
+    "NULL_BUS",
+    "SPAN",
+    "EVENT_KINDS",
+    "NullTelemetryBus",
+    "StreamEvent",
+    "TelemetryBus",
+]
+
+# Event kinds carried on the bus.  These are also the flight-recorder
+# ring names and the incident-bundle window keys.
+SPAN = "span"
+METRIC = "metric"
+ENERGY = "energy"
+AUDIT = "audit"
+ALERT = "alert"
+EVENT_KINDS = (SPAN, METRIC, ENERGY, AUDIT, ALERT)
+
+# Tolerance for clock comparisons: virtual timestamps are sums of
+# floating-point durations, so two "simultaneous" events can differ in
+# the last ulp without being out of order.
+_CLOCK_TOL = 1e-9
+
+
+class StreamEvent:
+    """One immutable telemetry event on the virtual-time stream.
+
+    ``t`` is virtual seconds.  ``value`` is the scalar the online
+    detectors consume (a power in watts, a counter value, an alert
+    threshold...).  ``attributes`` is a *small* mapping of labels;
+    ``payload`` optionally references the producing object (a ``Span``
+    or ``InvocationRecord``) so the hot path never copies it.
+    """
+
+    __slots__ = ("kind", "t", "name", "value", "attributes", "payload")
+
+    def __init__(
+        self,
+        kind: str,
+        t: float,
+        name: str,
+        value: float = 0.0,
+        attributes: Optional[Mapping[str, object]] = None,
+        payload: object = None,
+    ) -> None:
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown stream event kind {kind!r} (expected one of {EVENT_KINDS})"
+            )
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "t", float(t))
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "value", float(value))
+        object.__setattr__(self, "attributes", attributes if attributes is not None else {})
+        object.__setattr__(self, "payload", payload)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("StreamEvent is immutable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamEvent(kind={self.kind!r}, t={self.t:.6f}, "
+            f"name={self.name!r}, value={self.value!r})"
+        )
+
+    def as_dict(self) -> dict:
+        """Materialize for an incident bundle (payload expanded)."""
+        document = {
+            "kind": self.kind,
+            "t": self.t,
+            "name": self.name,
+            "value": self.value,
+        }
+        if self.attributes:
+            document["attributes"] = {
+                key: self.attributes[key] for key in sorted(self.attributes)
+            }
+        payload = self.payload
+        if payload is not None:
+            as_dict = getattr(payload, "as_dict", None)
+            if callable(as_dict):
+                document["payload"] = as_dict()
+            elif dataclasses.is_dataclass(payload):
+                document["payload"] = dataclasses.asdict(payload)
+            else:
+                document["payload"] = payload
+        return document
+
+
+class TelemetryBus:
+    """Deterministic fan-out of :class:`StreamEvent` to subscribers.
+
+    The bus owns the alerting layer's virtual clock: ``now`` is the
+    largest timestamp published so far, and producers that only know
+    "this happened during the current step" (span closures, engine
+    counter updates) stamp their events with it via :meth:`stamp`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[StreamEvent], None]] = []
+        self._now = 0.0
+        self.events_published = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time: the high-water mark of published events."""
+        return self._now
+
+    def subscribe(self, callback: Callable[[StreamEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def publish(self, event: StreamEvent) -> StreamEvent:
+        """Deliver ``event`` to every subscriber, in subscription order.
+
+        Raises ``ValueError`` if ``event.t`` regresses behind the bus
+        clock: virtual time is the determinism backbone and an
+        out-of-order publish means a producer mis-stamped its event.
+        """
+        if event.t < self._now - _CLOCK_TOL:
+            raise ValueError(
+                f"stream event {event.name!r} at t={event.t:.9f}s regresses "
+                f"behind the bus clock (now={self._now:.9f}s): virtual time "
+                "must be non-decreasing"
+            )
+        if event.t > self._now:
+            self._now = event.t
+        self.events_published += 1
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def stamp(
+        self,
+        kind: str,
+        name: str,
+        value: float = 0.0,
+        attributes: Optional[Mapping[str, object]] = None,
+        payload: object = None,
+    ) -> StreamEvent:
+        """Publish an event stamped at the current virtual time."""
+        return self.publish(
+            StreamEvent(kind, self._now, name, value, attributes, payload)
+        )
+
+    def advance(self, t: float) -> None:
+        """Advance the clock without publishing (e.g. idle gaps)."""
+        if t > self._now:
+            self._now = float(t)
+
+
+class NullTelemetryBus(TelemetryBus):
+    """No-op bus: the disabled path publishes into the void."""
+
+    enabled = False
+
+    def subscribe(self, callback: Callable[[StreamEvent], None]) -> None:
+        pass
+
+    def publish(self, event: StreamEvent) -> StreamEvent:
+        return event
+
+    def stamp(
+        self,
+        kind: str,
+        name: str,
+        value: float = 0.0,
+        attributes: Optional[Mapping[str, object]] = None,
+        payload: object = None,
+    ) -> StreamEvent:
+        return StreamEvent(kind, self._now, name, value, attributes, payload)
+
+
+#: Shared null object — safe to publish to, never delivers anything.
+NULL_BUS = NullTelemetryBus()

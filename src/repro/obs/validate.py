@@ -19,6 +19,9 @@ the first problem found, and returns a small summary dict on success.
   series are cumulative.
 * :func:`validate_events_jsonl` — every line is a JSON object with a
   known ``type``.
+* :func:`validate_incident` — a ``socrates-incident/1`` flight-recorder
+  bundle is well-formed, its window events are in virtual-time order,
+  and its ``incident_id`` matches the recomputed content fingerprint.
 """
 
 from __future__ import annotations
@@ -44,7 +47,10 @@ _LABELS = (
     rf"(,[a-zA-Z_][a-zA-Z0-9_]*=\"{_LABEL_VALUE}\")*\}}"
 )
 _VALUE = r"[-+]?(\d+(\.\d+)?([eE][-+]?\d+)?|\.\d+([eE][-+]?\d+)?|Inf|NaN)"
-_SAMPLE_LINE = re.compile(rf"^{_METRIC_NAME}({_LABELS})? {_VALUE}( \d+)?$")
+#: OpenMetrics exemplar suffix on histogram bucket lines:
+#: `` # {span_id="17"} 0.0931`` — a labelset plus the exemplar value.
+_EXEMPLAR = rf"( # {_LABELS} {_VALUE})?"
+_SAMPLE_LINE = re.compile(rf"^{_METRIC_NAME}({_LABELS})? {_VALUE}( \d+)?{_EXEMPLAR}$")
 _COMMENT_LINE = re.compile(rf"^# (HELP|TYPE) {_METRIC_NAME}( .*)?$")
 _ONE_LABEL = re.compile(rf"[a-zA-Z_][a-zA-Z0-9_]*=\"{_LABEL_VALUE}\"")
 
@@ -189,13 +195,20 @@ def validate_prometheus_text(path: PathLike) -> Dict[str, object]:
                 f"{path}:{number}: malformed sample line {line!r}"
             )
         samples += 1
-        name = line.split("{", 1)[0].split(" ", 1)[0]
+        # strip any exemplar suffix before reading the sample value /
+        # label body: ``... 42 # {span_id="17"} 0.093``
+        sample_part = line.split(" # ", 1)[0]
+        name = sample_part.split("{", 1)[0].split(" ", 1)[0]
         if name.endswith("_bucket"):
-            count = int(float(line.rsplit(" ", 1)[1]))
+            count = int(float(sample_part.rsplit(" ", 1)[1]))
             base = name[: -len("_bucket")]
             # cumulative counts restart per label series: key the check
             # on the labels minus 'le'
-            label_body = line[line.index("{") + 1 : line.rindex("}")] if "{" in line else ""
+            label_body = (
+                sample_part[sample_part.index("{") + 1 : sample_part.rindex("}")]
+                if "{" in sample_part
+                else ""
+            )
             series = ",".join(
                 part
                 for part in _ONE_LABEL.findall(label_body)
@@ -335,15 +348,82 @@ def validate_energy_ledger(path: PathLike) -> Dict[str, object]:
     }
 
 
+def validate_incident(path: PathLike) -> Dict[str, object]:
+    """Validate a ``socrates-incident/1`` flight-recorder bundle.
+
+    Checks the schema shape (alert, attribution, per-kind window
+    lists), that every window's events are in non-decreasing
+    virtual-time order (the flight recorder's eviction invariant), and
+    that the ``incident_id`` matches the recomputed content
+    fingerprint — a tampered or truncated bundle fails loudly.
+    """
+    from repro.obs.flight import incident_fingerprint, load_incident
+
+    document = load_incident(path)
+    for key in ("incident_id", "kernel", "t", "alert", "attribution", "window"):
+        if key not in document:
+            raise ValueError(f"{path}: incident bundle lacks required key {key!r}")
+    alert = document["alert"]
+    if not isinstance(alert, dict):
+        raise ValueError(f"{path}: 'alert' is not an object")
+    for key in ("name", "detector", "severity", "t", "message"):
+        if key not in alert:
+            raise ValueError(f"{path}: alert lacks required key {key!r}")
+    attribution = document["attribution"]
+    if not isinstance(attribution, dict):
+        raise ValueError(f"{path}: 'attribution' is not an object")
+    for key in ("span", "domain"):
+        if key not in attribution:
+            raise ValueError(f"{path}: attribution lacks required key {key!r}")
+    window = document["window"]
+    if not isinstance(window, dict):
+        raise ValueError(f"{path}: 'window' is not an object")
+    events = 0
+    for kind in ("spans", "metrics", "energy", "audit", "alerts"):
+        ring = window.get(kind)
+        if not isinstance(ring, list):
+            raise ValueError(f"{path}: window lacks event list {kind!r}")
+        last = None
+        for index, event in enumerate(ring):
+            if not isinstance(event, dict) or not isinstance(
+                event.get("t"), (int, float)
+            ):
+                raise ValueError(
+                    f"{path}: window {kind}[{index}] lacks a numeric 't'"
+                )
+            t = float(event["t"])
+            if last is not None and t < last - 1e-9:
+                raise ValueError(
+                    f"{path}: window {kind}[{index}] at t={t!r}s breaks "
+                    f"virtual-time order (previous event at t={last!r}s)"
+                )
+            last = t
+            events += 1
+    expected = incident_fingerprint(document)
+    if document["incident_id"] != expected:
+        raise ValueError(
+            f"{path}: incident_id {document['incident_id']!r} does not match "
+            f"the recomputed content fingerprint {expected!r} "
+            "(bundle modified or truncated?)"
+        )
+    return {
+        "incident_id": document["incident_id"],
+        "kernel": document["kernel"],
+        "alert": alert["name"],
+        "events": events,
+    }
+
+
 def validate_file(path: PathLike) -> Dict[str, object]:
-    """Dispatch on file suffix: .json → Chrome trace or energy ledger
-    (sniffed on content), .jsonl → event stream, .prom/.txt →
-    Prometheus text."""
+    """Dispatch on file suffix: .json → Chrome trace, energy ledger or
+    incident bundle (sniffed on content), .jsonl → event stream,
+    .prom/.txt → Prometheus text."""
     suffix = Path(path).suffix.lower()
     if suffix == ".jsonl":
         return validate_events_jsonl(path)
     if suffix == ".json":
         from repro.obs.energy import LEDGER_SCHEMA
+        from repro.obs.flight import INCIDENT_SCHEMA
 
         try:
             document = json.loads(_read_text(path))
@@ -351,6 +431,8 @@ def validate_file(path: PathLike) -> Dict[str, object]:
             raise ValueError(f"{path}: not valid JSON ({error})") from None
         if isinstance(document, dict) and document.get("schema") == LEDGER_SCHEMA:
             return validate_energy_ledger(path)
+        if isinstance(document, dict) and document.get("schema") == INCIDENT_SCHEMA:
+            return validate_incident(path)
         return validate_chrome_trace(path)
     if suffix in (".prom", ".txt"):
         return validate_prometheus_text(path)

@@ -763,3 +763,104 @@ class TestObsCli:
         out = capsys.readouterr().out
         assert "SOCRATES observability" in out
         assert "spans:" in out
+
+
+# ---------------------------------------------------------------------------
+# ratio gating: socrates_bench_ratio gauges vs hand-committed caps
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def ratio_scenario():
+    """A registered scenario that publishes a controllable
+    ``socrates_bench_ratio`` gauge; unregistered afterwards."""
+    name = "_test_ratio"
+    control = {"ratio": 1.02, "publish": True}
+
+    def runner(obs):
+        with obs.tracer.span("work:steady"):
+            pass
+        if control["publish"]:
+            obs.metrics.gauge(
+                "socrates_bench_ratio",
+                help="dimensionless ratio measured by a bench scenario",
+                labels={"name": "overhead"},
+            ).set(control["ratio"])
+        return {"points": 1}
+
+    scenarios_mod._REGISTRY[name] = scenarios_mod.BenchScenario(
+        name=name, description="ratio test workload", runner=runner
+    )
+    try:
+        yield name, control
+    finally:
+        del scenarios_mod._REGISTRY[name]
+
+
+class TestRatioGate:
+    def test_ratios_harvested_per_repeat(self, ratio_scenario):
+        name, _ = ratio_scenario
+        result = run_scenario(name, repeats=3)
+        assert result.ratios == {"overhead": [1.02, 1.02, 1.02]}
+
+    def test_baseline_medians_ratios_but_never_invents_limits(self, ratio_scenario):
+        name, _ = ratio_scenario
+        baseline = BenchBaseline.from_result(run_scenario(name, repeats=3))
+        assert baseline.ratios == {"overhead": 1.02}
+        assert baseline.ratio_limits == {}  # a cap is a policy decision
+
+    def test_limits_pass_through_and_round_trip(self, ratio_scenario, tmp_path):
+        name, _ = ratio_scenario
+        baseline = BenchBaseline.from_result(
+            run_scenario(name, repeats=2), ratio_limits={"overhead": 1.05}
+        )
+        path = save_baseline(baseline, tmp_path / "BENCH__test_ratio.json")
+        loaded = load_baseline(path)
+        assert loaded.ratios == baseline.ratios
+        assert loaded.ratio_limits == {"overhead": 1.05}
+
+    def test_within_cap_passes(self, ratio_scenario):
+        name, _ = ratio_scenario
+        baseline = BenchBaseline.from_result(
+            run_scenario(name, repeats=2), ratio_limits={"overhead": 1.05}
+        )
+        report = compare_result(baseline, run_scenario(name, repeats=2))
+        assert report.ok
+        (verdict,) = report.ratios
+        assert not verdict.regressed
+        assert verdict.fresh == pytest.approx(1.02)
+        assert "within cap" in report.format()
+
+    def test_over_cap_regresses(self, ratio_scenario):
+        name, control = ratio_scenario
+        baseline = BenchBaseline.from_result(
+            run_scenario(name, repeats=2), ratio_limits={"overhead": 1.05}
+        )
+        control["ratio"] = 1.2
+        report = compare_result(baseline, run_scenario(name, repeats=2))
+        assert not report.ok
+        (verdict,) = report.ratios
+        assert verdict.regressed and verdict.fresh == pytest.approx(1.2)
+        assert "RATIO 'overhead' REGRESSED" in report.format()
+        assert report.as_dict()["ratio_offenders"] == ["overhead"]
+
+    def test_missing_ratio_regresses_as_missing(self, ratio_scenario):
+        name, control = ratio_scenario
+        baseline = BenchBaseline.from_result(
+            run_scenario(name, repeats=2), ratio_limits={"overhead": 1.05}
+        )
+        control["publish"] = False
+        report = compare_result(baseline, run_scenario(name, repeats=2))
+        assert not report.ok
+        (verdict,) = report.ratios
+        assert verdict.regressed
+        assert verdict.fresh != verdict.fresh  # NaN: not published
+        assert "missing" in report.format()
+
+    def test_uncapped_ratio_is_context_only(self, ratio_scenario):
+        name, control = ratio_scenario
+        baseline = BenchBaseline.from_result(run_scenario(name, repeats=2))
+        control["ratio"] = 99.0  # absurd, but nothing gates it
+        report = compare_result(baseline, run_scenario(name, repeats=2))
+        assert report.ok
+        assert report.ratios == []

@@ -794,3 +794,84 @@ class TestDeterminism:
             for point in plain.exploration.knowledge
         }
         assert traced_ops == plain_ops
+
+
+class TestExemplars:
+    """OpenMetrics exemplars: histogram buckets carry the span id of a
+    landing observation, survive the text format, and parse back."""
+
+    def test_observe_with_exemplar_lands_in_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", boundaries=[0.1, 1.0])
+        histogram.observe(0.05, exemplar={"span_id": "7"})
+        histogram.observe(0.5)  # no exemplar: bucket slot stays None
+        exemplars = [e for e in histogram.exemplars if e is not None]
+        assert len(exemplars) == 1
+        labels, value = exemplars[0]
+        assert dict(labels) == {"span_id": "7"}
+        assert value == 0.05
+
+    def test_text_format_appends_openmetrics_suffix(self):
+        from repro.obs.export import prometheus_text
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", boundaries=[0.1, 1.0])
+        histogram.observe(0.05, exemplar={"span_id": "7"})
+        text = prometheus_text(registry)
+        (line,) = [l for l in text.splitlines() if 'le="0.1"' in l]
+        assert line.endswith('# {span_id="7"} 0.05')
+
+    def test_round_trip_through_parse(self):
+        from repro.obs.export import parse_prometheus_text, prometheus_text
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "socrates_stage_duration_seconds",
+            help="wall time of each pipeline stage",
+            labels={"stage": "weave"},
+        )
+        histogram.observe(0.004, exemplar={"span_id": "12"})
+        histogram.observe(9.0, exemplar={"span_id": "40"})
+        text = prometheus_text(registry)
+        parsed = parse_prometheus_text(text)
+        assert prometheus_text(parsed) == text  # fixed point
+        clone = parsed.histogram(
+            "socrates_stage_duration_seconds",
+            help="wall time of each pipeline stage",
+            labels={"stage": "weave"},
+        )
+        kept = [e for e in clone.exemplars if e is not None]
+        assert [dict(labels) for labels, _ in kept] == [
+            {"span_id": "12"},
+            {"span_id": "40"},
+        ]
+
+    def test_exemplar_on_counter_rejected_by_parser(self):
+        from repro.obs.export import parse_prometheus_text
+
+        with pytest.raises(ValueError, match="non-histogram"):
+            parse_prometheus_text('builds_total 3 # {span_id="1"} 3\n')
+
+    def test_stage_histogram_links_to_real_spans(self, traced_build):
+        from repro.obs.export import parse_prometheus_text, prometheus_text
+
+        obs, _, _ = traced_build
+        span_ids = {
+            str(span.span_id): span.name
+            for span in obs.tracer.spans
+            if span.name.startswith("stage:")
+        }
+        parsed = parse_prometheus_text(prometheus_text(obs.metrics))
+        linked = 0
+        for instrument in parsed.instruments():
+            if instrument.name != "socrates_stage_duration_seconds":
+                continue
+            stage = dict(instrument.labels)["stage"]
+            for entry in instrument.exemplars:
+                if entry is None:
+                    continue
+                labels, _ = entry
+                span_id = dict(labels)["span_id"]
+                assert span_ids[span_id] == f"stage:{stage}"
+                linked += 1
+        assert linked > 0

@@ -23,6 +23,7 @@ CLI: ``socrates bench list / run / compare / gate``.
 from repro.bench.baseline import (
     SCHEMA,
     BenchBaseline,
+    StackBaseline,
     StageBaseline,
     baseline_filename,
     load_baseline,
@@ -65,6 +66,7 @@ __all__ = [
     "RobustStats",
     "ScenarioResult",
     "SpanTimer",
+    "StackBaseline",
     "StageBaseline",
     "StageVerdict",
     "all_scenarios",

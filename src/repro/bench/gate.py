@@ -16,7 +16,12 @@ committed ``BENCH_<scenario>.json``:
   no timing threshold should absorb silently;
 * the wall-time delta is **attributed** via span-level trace diffing
   (:mod:`repro.obs.diff`): the verdict names the offending span, and
-  the report embeds the full per-span-name diff sorted by |delta|.
+  the report embeds the full per-span-name diff sorted by |delta|;
+* when the baseline committed per-stack medians (the profiling
+  observatory's collapse, see :mod:`repro.obs.profile`), the verdict
+  also names the offending *stack* — the folded path whose self time
+  grew the most under the regressed span name — so a regression
+  points at a call path, not just a name.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.bench.baseline import BenchBaseline
 from repro.bench.scenarios import ScenarioResult
 from repro.bench.stats import RobustStats, median
 from repro.obs.diff import SpanAggregate, TraceDiff, diff_profiles, format_diff
+from repro.obs.profile import STACK_SEP, FlameProfile, StackDiff, StackStat, diff_flame
 
 #: Default relative regression threshold (fraction of the baseline median).
 DEFAULT_THRESHOLD = 0.5
@@ -134,6 +140,9 @@ class GateReport:
     diff: Optional[TraceDiff] = None
     energy: List[EnergyVerdict] = field(default_factory=list)
     ratios: List[RatioVerdict] = field(default_factory=list)
+    #: per-stack differential profile (baseline medians vs. fresh
+    #: medians); present only when the baseline committed stacks
+    stack_diff: Optional[StackDiff] = None
 
     @property
     def offenders(self) -> List[StageVerdict]:
@@ -150,6 +159,21 @@ class GateReport:
             [verdict for verdict in self.energy if verdict.regressed],
             key=lambda verdict: -verdict.delta_j,
         )
+
+    def offending_stack(self, name: Optional[str] = None):
+        """The grown stack with the largest Δself, optionally among
+        stacks containing span ``name`` as a frame.  Returns the
+        :class:`~repro.obs.profile.StackDelta` or ``None`` when the
+        baseline committed no stacks (or nothing grew)."""
+        if self.stack_diff is None:
+            return None
+        candidates = [
+            delta
+            for delta in self.stack_diff.deltas
+            if delta.delta_s > 0
+            and (name is None or name in delta.stack.split(STACK_SEP))
+        ]
+        return candidates[0] if candidates else None
 
     @property
     def ok(self) -> bool:
@@ -178,6 +202,13 @@ class GateReport:
             "ratio_offenders": [
                 verdict.name for verdict in self.ratios if verdict.regressed
             ],
+            "stack_offenders": [
+                delta.as_dict()
+                for delta in (
+                    self.stack_diff.deltas if self.stack_diff is not None else []
+                )
+                if delta.delta_s > 0
+            ][:5],
         }
 
     def format(self, diff_limit: int = 15) -> str:
@@ -200,12 +231,25 @@ class GateReport:
                 f"({worst.baseline_s:.4f}s -> {worst.fresh_s:.4f}s, "
                 f"+{worst.delta_s:.4f}s over limit {worst.limit_s:.4f}s)"
             )
+            stack = self.offending_stack(worst.name) or self.offending_stack()
+            if stack is not None:
+                lines.append(
+                    f"    offending stack: {stack.stack} "
+                    f"(+{stack.delta_s:.4f}s self)"
+                )
             for verdict in offenders[1:]:
                 lines.append(
                     f"    also regressed: '{verdict.name}' "
                     f"(+{verdict.delta_s:.4f}s)"
                 )
-        elif self.fingerprint_ok and not wall.regressed:
+        elif wall.regressed:
+            stack = self.offending_stack()
+            if stack is not None:
+                lines.append(
+                    f"  wall regression's worst-grown stack: {stack.stack} "
+                    f"(+{stack.delta_s:.4f}s self)"
+                )
+        elif self.fingerprint_ok:
             lines.append("  all spans within thresholds")
         if self.energy:
             energy_offenders = self.energy_offenders
@@ -239,6 +283,12 @@ class GateReport:
                     f"over cap {verdict.limit:.4f} "
                     f"(baseline {verdict.baseline_ratio:.4f})"
                 )
+                stack = self.offending_stack()
+                if stack is not None:
+                    lines.append(
+                        f"    worst-grown stack: {stack.stack} "
+                        f"(+{stack.delta_s:.4f}s self)"
+                    )
             else:
                 lines.append(
                     f"  ratio '{verdict.name}' {verdict.fresh:.4f} "
@@ -393,6 +443,25 @@ def compare_result(
         )
         for name, samples in result.span_totals.items()
     }
+
+    # per-stack attribution: median-vs-median flame diff, only when
+    # the baseline committed stacks (older baselines stay comparable)
+    stack_diff = None
+    if baseline.stacks and result.stack_totals:
+        base_flame = FlameProfile(label="baseline")
+        for stack, record in baseline.stacks.items():
+            base_flame.stacks[stack] = StackStat(
+                self_s=record.self_s.median, count=record.count
+            )
+        fresh_flame = FlameProfile(label="fresh")
+        for stack, samples in result.stack_totals.items():
+            fresh_flame.stacks[stack] = StackStat(
+                self_s=median(samples),
+                count=result.stack_counts.get(stack, 0),
+            )
+        stack_diff = diff_flame(
+            base_flame, fresh_flame, label_a="baseline", label_b="fresh"
+        )
     return GateReport(
         scenario=result.scenario,
         wall=wall,
@@ -402,4 +471,5 @@ def compare_result(
         diff=diff_profiles(baseline_profile, fresh_profile),
         energy=energy,
         ratios=ratio_verdicts,
+        stack_diff=stack_diff,
     )

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.obs import Observability
 from repro.obs.diff import aggregate_spans
+from repro.obs.profile import FlameProfile
 from repro.obs.tracing import Span
 
 from repro.bench.measure import peak_rss_kb
@@ -397,6 +398,104 @@ def _run_alerting_overhead(obs: Observability) -> Dict[str, object]:
     }
 
 
+@register(
+    "profiling_overhead",
+    "adaptation loop plus an in-situ probe of the causal profiling "
+    "observatory: flame collapse, folded round-trip and what-if replay "
+    "timed against the workload wall, gated via ratio_limits",
+)
+def _run_profiling_overhead(obs: Observability) -> Dict[str, object]:
+    import time as _time
+
+    from repro.core.scenario import Phase, Scenario
+    from repro.margot.state import (
+        OptimizationState,
+        maximize_throughput,
+        maximize_throughput_per_watt_squared,
+    )
+    from repro.obs.profile import (
+        CONSERVATION_TOL,
+        FlameProfile,
+        build_tree,
+        default_targets,
+        total_virtual_s,
+        whatif,
+    )
+    from repro.polybench.suite import load
+
+    def run_workload(inner: Observability):
+        flow = _quick_toolflow(inner)
+        app = flow.build(load("mvt")).adaptive
+        app.add_state(
+            OptimizationState(
+                "Thr/W^2", rank=maximize_throughput_per_watt_squared()
+            ),
+            activate=True,
+        )
+        app.add_state(OptimizationState("Throughput", rank=maximize_throughput()))
+        scenario = Scenario(
+            phases=[
+                Phase(0.0, "Thr/W^2"),
+                Phase(1.0, "Throughput"),
+                Phase(2.0, "Thr/W^2"),
+            ],
+            duration_s=3.0,
+        )
+        return flow, scenario.run(app)
+
+    # Same measurement discipline as alerting_overhead: numerator and
+    # denominator share one leg's clock and interference window, two
+    # legs run and the smaller ratio wins (contention only inflates
+    # the reading).  Profiling is post-hoc — it runs *after* the
+    # workload on the finished trace — so the probe times exactly what
+    # a user of `socrates obs flame` + `obs whatif` pays.
+    pc = _time.perf_counter
+    ratios: List[float] = []
+    leg_records = []
+    profile = None
+    report = None
+    conserved = False
+    for _leg in range(2):
+        inner = Observability()
+        with obs.tracer.span("overhead:workload"):
+            started = pc()
+            flow, records = run_workload(inner)
+            workload_s = pc() - started
+        leg_records.append(records)
+        spans = inner.tracer.spans
+        with obs.tracer.span("overhead:profiling"):
+            started = pc()
+            roots = build_tree(spans)
+            profile = FlameProfile.from_tree(roots)
+            round_trip = FlameProfile.from_folded(profile.as_folded())
+            report = whatif(
+                roots, speedups=(0.5,), targets=default_targets(roots)
+            )
+            profiling_s = pc() - started
+        conserved = (
+            abs(round_trip.total_self_s - total_virtual_s(roots))
+            <= CONSERVATION_TOL * max(1.0, total_virtual_s(roots))
+        )
+        ratios.append(profiling_s / workload_s)
+    ratio = min(ratios)
+    obs.metrics.gauge(
+        "socrates_bench_ratio",
+        help="dimensionless ratio measured by a bench scenario",
+        labels={"name": "profiling_overhead"},
+    ).set(ratio)
+    assert profile is not None and report is not None
+    return {
+        "invocations": len(leg_records[0]),
+        # profiling between seeded runs must not perturb them: the two
+        # legs' records stay byte-identical even though a full
+        # collapse + what-if ran in between
+        "records_identical": leg_records[0] == leg_records[1],
+        "stacks": len(profile.stacks),
+        "targets": len(report.rows),
+        "folded_round_trip_conserves": conserved,
+    }
+
+
 def _energy_totals(metrics) -> Dict[str, float]:
     """Per-domain joules from the ``socrates_energy_joules_total``
     counters a scenario recorded (summed over kernels)."""
@@ -450,6 +549,12 @@ class ScenarioResult:
     #: these as ``socrates_bench_ratio{name=...}`` gauges); gated
     #: against the baseline's committed ``ratio_limits``
     ratios: Dict[str, List[float]] = field(default_factory=dict)
+    #: per folded stack: self seconds in each repeat (the profiling
+    #: observatory's collapse of the trace) — lets the gate attribute
+    #: a regression to a *stack*, not just a span name
+    stack_totals: Dict[str, List[float]] = field(default_factory=dict)
+    #: per folded stack: span count (identical across repeats)
+    stack_counts: Dict[str, int] = field(default_factory=dict)
 
 
 def run_scenario(
@@ -469,7 +574,9 @@ def run_scenario(
     factory = obs_factory if obs_factory is not None else Observability
     wall_s: List[float] = []
     per_repeat_totals: List[Dict[str, float]] = []
+    per_repeat_stacks: List[Dict[str, float]] = []
     span_counts: Dict[str, int] = {}
+    stack_counts: Dict[str, int] = {}
     fingerprint: Optional[Dict[str, object]] = None
     last_spans: List[Span] = []
     energy_j: Dict[str, float] = {}
@@ -485,9 +592,14 @@ def run_scenario(
         per_repeat_totals.append(
             {span_name: agg.total_s for span_name, agg in aggregates.items()}
         )
+        profile = FlameProfile.from_spans(spans)
+        per_repeat_stacks.append(profile.self_by_stack())
         if repeat == 0:
             span_counts = {
                 span_name: agg.count for span_name, agg in aggregates.items()
+            }
+            stack_counts = {
+                stack: stat.count for stack, stat in profile.stacks.items()
             }
             fingerprint = dict(result)
         elif dict(result) != fingerprint:
@@ -504,6 +616,11 @@ def run_scenario(
         span_name: [totals.get(span_name, 0.0) for totals in per_repeat_totals]
         for span_name in names
     }
+    stacks = sorted(set().union(*per_repeat_stacks))
+    stack_totals = {
+        stack: [selfs.get(stack, 0.0) for selfs in per_repeat_stacks]
+        for stack in stacks
+    }
     return ScenarioResult(
         scenario=name,
         repeats=repeats,
@@ -515,4 +632,6 @@ def run_scenario(
         spans=last_spans,
         energy_j=energy_j,
         ratios=ratios,
+        stack_totals=stack_totals,
+        stack_counts=stack_counts,
     )

@@ -516,7 +516,9 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
 
     diff = diff_chrome_traces(args.trace_a, args.trace_b)
     if args.json:
-        print(json.dumps(diff.as_dict(), indent=2))
+        # machine mode, matching `socrates stats --json`: one line,
+        # stable key order, no screen-scraping
+        print(json.dumps(diff.as_dict(), sort_keys=True, separators=(",", ":")))
         return 0
     print(f"trace diff: a={args.trace_a}  b={args.trace_b}")
     print(
@@ -526,6 +528,197 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
             hide_unchanged=not args.show_unchanged,
         )
     )
+    return 0
+
+
+def _load_flame_profile(path):
+    """Load a :class:`FlameProfile` from any of the three exchange forms.
+
+    ``.folded`` text, a ``socrates-profile/1`` JSON document, or a raw
+    Chrome trace export (which is collapsed on the fly).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs.profile import PROFILE_SCHEMA, FlameProfile
+
+    source = Path(path)
+    if source.suffix == ".folded":
+        return FlameProfile.load_folded(source)
+    try:
+        document = json.loads(source.read_text())
+    except OSError as error:
+        raise ValueError(f"{path}: cannot read profile ({error})") from None
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from None
+    if isinstance(document, dict) and document.get("schema") == PROFILE_SCHEMA:
+        profile = FlameProfile.from_dict(document)
+        if not profile.label:
+            profile.label = str(path)
+        return profile
+    return FlameProfile.from_chrome_trace(source)
+
+
+def _profile_source(args: argparse.Namespace):
+    """Spans + optional energy attribution behind flame/what-if.
+
+    Three sources: ``--trace FILE`` reconstructs the tree from an
+    exported Chrome trace, ``--scenario NAME`` runs a bench scenario
+    once, and a benchmark APP runs the fig5-style adaptive workload
+    with the energy ledger joined per stack.  Returns
+    ``(roots, energy, total_energy_j, label)``.
+    """
+    from repro.obs.profile import attribute_energy, build_tree, load_chrome_trace
+
+    if getattr(args, "trace", None):
+        return load_chrome_trace(args.trace), None, None, str(args.trace)
+    if getattr(args, "scenario", None):
+        from repro.bench.scenarios import run_scenario
+
+        result = run_scenario(args.scenario, repeats=1)
+        return build_tree(result.spans), None, None, f"bench:{args.scenario}"
+    if not getattr(args, "app", None):
+        raise ValueError(
+            "pass a benchmark APP, --trace FILE, or --scenario NAME"
+        )
+    from repro.obs.energy import EnergyLedger
+
+    obs, result, app, records, timeline = _energy_scenario(args)
+    idle_power = app.executor.idle_breakdown().totals()
+    ledger = EnergyLedger.from_timeline(
+        timeline, stage_events=result.stage_events, idle_power_w=idle_power
+    )
+    roots = build_tree(obs.tracer.spans)
+    energy = attribute_energy(roots, ledger)
+    # the what-if total spans both ledger accounts the attribution maps
+    # from: the adaptive run (operating points + idle floor) and the
+    # host-side toolflow stages
+    total_energy_j = (
+        ledger.totals_j()["package"] + ledger.stage_totals_j()["package"]
+    )
+    return roots, energy, total_energy_j, app.name
+
+
+def cmd_obs_flame(args: argparse.Namespace) -> int:
+    """Virtual-time flame graph: table, folded, JSON, SVG, or diffs."""
+    import json
+    from pathlib import Path
+
+    from repro.obs.profile import (
+        FlameProfile,
+        diff_flame,
+        format_stack_diff,
+        profile_vs_baseline,
+        render_svg,
+    )
+
+    if args.diff:
+        profile_a = _load_flame_profile(args.diff[0])
+        profile_b = _load_flame_profile(args.diff[1])
+        diff = diff_flame(
+            profile_a,
+            profile_b,
+            label_a=profile_a.label or str(args.diff[0]),
+            label_b=profile_b.label or str(args.diff[1]),
+        )
+        if args.json:
+            print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_stack_diff(diff, limit=args.limit))
+        return 0
+
+    roots, energy, _, label = _profile_source(args)
+    profile = FlameProfile.from_tree(roots, label=label, energy=energy)
+
+    if args.against_baseline:
+        from repro.bench.baseline import load_baseline
+
+        baseline = load_baseline(args.against_baseline)
+        if not baseline.stacks:
+            raise ValueError(
+                f"{args.against_baseline}: baseline carries no committed "
+                "stacks; regenerate it with `socrates bench run ... --out`"
+            )
+        diff = profile_vs_baseline(profile, baseline)
+        if args.json:
+            print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_stack_diff(diff, limit=args.limit))
+        return 0
+
+    title = f"{label} — virtual-time flame graph"
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written = {
+            "profile.folded": profile.as_folded(),
+            "profile.json": json.dumps(
+                profile.as_dict(), indent=2, sort_keys=True
+            )
+            + "\n",
+            "flame.svg": render_svg(profile, title=title),
+        }
+        for name, text in written.items():
+            (out_dir / name).write_text(text)
+            print(f"Wrote {out_dir / name}")
+        return 0
+
+    if args.folded:
+        text = profile.as_folded()
+    elif args.json:
+        text = json.dumps(profile.as_dict(), indent=2, sort_keys=True) + "\n"
+    elif args.svg:
+        text = render_svg(profile, title=title)
+    else:
+        text = profile.format_table(limit=args.limit) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"Wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_obs_whatif(args: argparse.Namespace) -> int:
+    """Causal what-if: ranked payoff of speeding up each target."""
+    import json
+
+    from repro.obs.profile import DEFAULT_SPEEDUPS, whatif
+
+    speedups = tuple(DEFAULT_SPEEDUPS)
+    if args.speedups:
+        try:
+            speedups = tuple(
+                float(token) / 100.0
+                for token in args.speedups.split(",")
+                if token.strip()
+            )
+        except ValueError:
+            raise ValueError(
+                f"--speedups expects comma-separated percentages, "
+                f"got {args.speedups!r}"
+            ) from None
+    if not speedups:
+        raise ValueError("--speedups names no speedups")
+    # rank by the 50% column when present, else the deepest hypothetical
+    rank_speedup = (
+        0.50
+        if any(abs(speedup - 0.50) < 1e-12 for speedup in speedups)
+        else max(speedups)
+    )
+    roots, energy, total_energy_j, label = _profile_source(args)
+    report = whatif(
+        roots,
+        speedups=speedups,
+        energy=energy,
+        total_energy_j=total_energy_j,
+        rank_speedup=rank_speedup,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"what-if analysis: {label}")
+        print(report.format(limit=args.limit))
     return 0
 
 
@@ -1014,6 +1207,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import (
         BenchBaseline,
         baseline_filename,
+        load_baseline,
         run_scenario,
         save_baseline,
     )
@@ -1022,8 +1216,17 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     for name in _bench_scenario_names(args):
         result = run_scenario(name, repeats=args.repeats)
-        baseline = BenchBaseline.from_result(result)
-        path = save_baseline(baseline, out_dir / baseline_filename(name))
+        # ratio caps are hand-committed policy, never measured: when
+        # regenerating over an existing baseline, carry its caps through
+        ratio_limits = None
+        target = out_dir / baseline_filename(name)
+        if target.exists():
+            try:
+                ratio_limits = load_baseline(target).ratio_limits
+            except ValueError:
+                ratio_limits = None
+        baseline = BenchBaseline.from_result(result, ratio_limits=ratio_limits)
+        path = save_baseline(baseline, target)
         print(
             f"{name}: wall median {baseline.wall_s.median:.4f}s "
             f"(MAD {baseline.wall_s.mad:.4f}s, {result.repeats} repeats, "
@@ -1429,6 +1632,7 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="build + fig5-style scenario, export every obs format"
     )
     _add_app_argument(p)
+    _add_machine_argument(p)
     p.add_argument("--out-dir", default="obs-out", help="output directory")
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--threads", help="comma-separated thread counts for the DSE")
@@ -1460,6 +1664,104 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit the diff as JSON")
     p.set_defaults(func=cmd_obs_diff)
+
+    def _add_profile_source_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "app",
+            nargs="?",
+            help="benchmark name to build + run adaptively (see `socrates list`)",
+        )
+        _add_machine_argument(p)
+        p.add_argument(
+            "--duration",
+            type=float,
+            default=10.0,
+            help="virtual seconds of the fig5-style scenario (APP source)",
+        )
+        p.add_argument(
+            "--threads", help="comma-separated thread counts for the DSE"
+        )
+        p.add_argument("--repetitions", type=int, default=3)
+        p.add_argument(
+            "--workers",
+            type=int,
+            help="evaluate design points on a process pool of this size",
+        )
+        p.add_argument(
+            "--trace",
+            metavar="FILE",
+            help="reconstruct from an exported Chrome trace instead of running",
+        )
+        p.add_argument(
+            "--scenario",
+            metavar="NAME",
+            help="profile one run of a bench scenario (see `socrates bench list`)",
+        )
+
+    p = obs_sub.add_parser(
+        "flame",
+        help="virtual-time flame graph from the span trace "
+        "(table/folded/JSON/SVG, stack diffs)",
+    )
+    _add_profile_source_arguments(p)
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--folded", action="store_true", help="emit folded-stack text"
+    )
+    fmt.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the socrates-profile/1 JSON document",
+    )
+    fmt.add_argument(
+        "--svg",
+        action="store_true",
+        help="emit a self-contained SVG flame graph",
+    )
+    p.add_argument(
+        "--out", metavar="FILE", help="write the selected format to this file"
+    )
+    p.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        help="write profile.folded + profile.json + flame.svg here",
+    )
+    p.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        help="stack diff of two profiles "
+        "(.folded, profile JSON, or Chrome trace each)",
+    )
+    p.add_argument(
+        "--against-baseline",
+        metavar="BENCH.json",
+        help="stack diff of this run against a committed bench baseline",
+    )
+    p.add_argument(
+        "--limit", type=int, default=20, help="table/diff rows to print (0 = all)"
+    )
+    p.set_defaults(func=cmd_obs_flame)
+
+    p = obs_sub.add_parser(
+        "whatif",
+        help="causal what-if: replay the trace with virtual speedups, "
+        "rank targets by end-to-end payoff",
+    )
+    _add_profile_source_arguments(p)
+    p.add_argument(
+        "--speedups",
+        metavar="PCT,PCT,...",
+        help="hypothetical speedups in percent (default: 10,25,50,75)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the ranked table as JSON"
+    )
+    p.add_argument(
+        "--limit", type=int, default=15, help="targets to print (0 = all)"
+    )
+    p.set_defaults(func=cmd_obs_whatif)
+
     p = obs_sub.add_parser(
         "top", help="live ASCII dashboard of the metrics registry"
     )

@@ -81,6 +81,21 @@ from repro.obs.metrics import (
 from repro.obs.alerts import Alert, AlertEngine, AlertPolicy, latency_slos_from_baselines
 from repro.obs.audit import IncidentTrace
 from repro.obs.flight import INCIDENT_SCHEMA, FlightRecorder, IncidentBundle
+from repro.obs.profile import (
+    FlameProfile,
+    ProfileNode,
+    StackDiff,
+    WhatIfReport,
+    attribute_energy,
+    build_tree,
+    diff_flame,
+    load_chrome_trace,
+    profile_vs_baseline,
+    render_svg,
+    rescale_tree,
+    total_virtual_s,
+    whatif,
+)
 from repro.obs.stream import NULL_BUS, NullTelemetryBus, StreamEvent, TelemetryBus
 from repro.obs.tracing import MAIN_TRACK, NULL_TRACER, NullTracer, Span, Tracer
 
@@ -124,11 +139,24 @@ __all__ = [
     "TelemetryBus",
     "Tracer",
     "attribute_record",
+    "FlameProfile",
+    "ProfileNode",
+    "StackDiff",
+    "WhatIfReport",
+    "attribute_energy",
     "build_timeline",
+    "build_tree",
     "check_budgets",
     "compose_reason",
     "describe_rank",
+    "diff_flame",
     "latency_slos_from_baselines",
+    "load_chrome_trace",
+    "profile_vs_baseline",
+    "render_svg",
+    "rescale_tree",
+    "total_virtual_s",
+    "whatif",
 ]
 
 

@@ -293,6 +293,20 @@ def _parse_label_body(body: str, context: str) -> List[Tuple[str, str]]:
     return items
 
 
+def _is_inf_le(le: str) -> bool:
+    """True when a ``le`` label names the +Inf overflow bucket.
+
+    Our exporter writes ``+Inf``, but the text format admits any float
+    spelling (``+inf``, ``Inf``, ...) — matching the literal string
+    would silently turn a foreign overflow bucket into a finite
+    boundary and shift every exemplar slot after it.
+    """
+    try:
+        return float(le) == float("inf")
+    except ValueError:
+        return False
+
+
 def parse_prometheus_text(text: str) -> MetricsRegistry:
     """Rebuild a :class:`MetricsRegistry` from a text exposition dump.
 
@@ -379,7 +393,9 @@ def parse_prometheus_text(text: str) -> MetricsRegistry:
             raise ValueError(f"sample {name!r} has no # TYPE declaration")
     for (name, labels), series in histograms.items():
         boundaries = [
-            float(le) for le, _ in series["buckets"] if le != "+Inf"  # type: ignore[union-attr]
+            float(le)
+            for le, _ in series["buckets"]  # type: ignore[union-attr]
+            if not _is_inf_le(le)
         ]
         if not boundaries:
             raise ValueError(f"histogram {name!r} has no finite buckets")
@@ -398,11 +414,13 @@ def parse_prometheus_text(text: str) -> MetricsRegistry:
         instrument.bucket_counts = per_bucket
         instrument.total = float(series["sum"])  # type: ignore[arg-type]
         instrument.count = int(series["count"])  # type: ignore[arg-type]
-        # Re-attach OpenMetrics exemplars bucket by bucket (the +Inf
-        # bucket is the exporter's last line, i.e. the last slot).
+        # Re-attach OpenMetrics exemplars bucket by bucket.  The +Inf
+        # bucket maps to the final (overflow) slot whatever its spelling
+        # or position — an exemplar on the last cumulative bucket must
+        # survive the round trip like any finite bucket's.
         finite = 0
         for (le, _), exemplar in zip(series["buckets"], series["exemplars"]):  # type: ignore[arg-type]
-            if le == "+Inf":
+            if _is_inf_le(le):
                 index = len(instrument.boundaries)
             else:
                 index = finite

@@ -22,6 +22,11 @@ the first problem found, and returns a small summary dict on success.
 * :func:`validate_incident` — a ``socrates-incident/1`` flight-recorder
   bundle is well-formed, its window events are in virtual-time order,
   and its ``incident_id`` matches the recomputed content fingerprint.
+* profiling observatory exports — ``.folded`` flame-graph stacks and
+  ``socrates-profile/1`` JSON documents delegate to
+  :func:`repro.obs.profile.validate_folded_text` /
+  :func:`repro.obs.profile.validate_profile_json`, which check the
+  folded grammar and the virtual-time conservation invariant.
 """
 
 from __future__ import annotations
@@ -415,15 +420,21 @@ def validate_incident(path: PathLike) -> Dict[str, object]:
 
 
 def validate_file(path: PathLike) -> Dict[str, object]:
-    """Dispatch on file suffix: .json → Chrome trace, energy ledger or
-    incident bundle (sniffed on content), .jsonl → event stream,
-    .prom/.txt → Prometheus text."""
+    """Dispatch on file suffix: .json → Chrome trace, energy ledger,
+    incident bundle or flame profile (sniffed on content), .jsonl →
+    event stream, .prom/.txt → Prometheus text, .folded → folded
+    flame-graph stacks."""
     suffix = Path(path).suffix.lower()
     if suffix == ".jsonl":
         return validate_events_jsonl(path)
+    if suffix == ".folded":
+        from repro.obs.profile import validate_folded_text
+
+        return validate_folded_text(path)
     if suffix == ".json":
         from repro.obs.energy import LEDGER_SCHEMA
         from repro.obs.flight import INCIDENT_SCHEMA
+        from repro.obs.profile import PROFILE_SCHEMA, validate_profile_json
 
         try:
             document = json.loads(_read_text(path))
@@ -433,10 +444,12 @@ def validate_file(path: PathLike) -> Dict[str, object]:
             return validate_energy_ledger(path)
         if isinstance(document, dict) and document.get("schema") == INCIDENT_SCHEMA:
             return validate_incident(path)
+        if isinstance(document, dict) and document.get("schema") == PROFILE_SCHEMA:
+            return validate_profile_json(path)
         return validate_chrome_trace(path)
     if suffix in (".prom", ".txt"):
         return validate_prometheus_text(path)
     raise ValueError(
         f"{path}: cannot infer artifact kind from suffix {suffix!r} "
-        "(expected .json, .jsonl, .prom or .txt)"
+        "(expected .json, .jsonl, .prom, .txt or .folded)"
     )

@@ -852,6 +852,62 @@ class TestExemplars:
         with pytest.raises(ValueError, match="non-histogram"):
             parse_prometheus_text('builds_total 3 # {span_id="1"} 3\n')
 
+    def test_inf_bucket_exemplar_round_trips(self):
+        """Regression: an exemplar landing on the final cumulative
+        (+Inf) bucket must survive text export and parse intact."""
+        from repro.obs.export import parse_prometheus_text, prometheus_text
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", boundaries=[0.1, 1.0])
+        histogram.observe(50.0, exemplar={"span_id": "99"})
+        text = prometheus_text(registry)
+        (line,) = [l for l in text.splitlines() if 'le="+Inf"' in l]
+        assert line.endswith('# {span_id="99"} 50')
+        parsed = parse_prometheus_text(text)
+        assert prometheus_text(parsed) == text  # fixed point
+        clone = parsed.histogram("h", boundaries=[0.1, 1.0])
+        # the overflow slot is the LAST one, after every finite bucket
+        assert clone.exemplars[:2] == [None, None]
+        labels, value = clone.exemplars[2]
+        assert dict(labels) == {"span_id": "99"}
+        assert value == 50.0
+
+    def test_inf_bucket_exemplar_in_labeled_family(self):
+        """One series' +Inf exemplar must not leak into its siblings."""
+        from repro.obs.export import parse_prometheus_text, prometheus_text
+
+        registry = MetricsRegistry()
+        hot = registry.histogram("fam", boundaries=[1.0], labels={"k": "a"})
+        cold = registry.histogram("fam", boundaries=[1.0], labels={"k": "b"})
+        hot.observe(5.0, exemplar={"span_id": "2"})
+        cold.observe(0.5, exemplar={"span_id": "3"})
+        text = prometheus_text(registry)
+        parsed = parse_prometheus_text(text)
+        assert prometheus_text(parsed) == text
+        clone_hot = parsed.histogram("fam", boundaries=[1.0], labels={"k": "a"})
+        clone_cold = parsed.histogram("fam", boundaries=[1.0], labels={"k": "b"})
+        assert clone_hot.exemplars == [None, ((("span_id", "2"),), 5.0)]
+        assert clone_cold.exemplars == [((("span_id", "3"),), 0.5), None]
+
+    def test_foreign_inf_spelling_is_overflow_not_boundary(self):
+        """Regression: the text format admits any float spelling of
+        +Inf; a lowercase ``le="+inf"`` bucket must parse as the
+        overflow slot, not become a finite boundary (which would also
+        shift the exemplar index)."""
+        from repro.obs.export import parse_prometheus_text
+
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 0\n'
+            'h_bucket{le="+inf"} 1 # {span_id="7"} 4\n'
+            "h_sum 4\n"
+            "h_count 1\n"
+        )
+        parsed = parse_prometheus_text(text)
+        clone = parsed.histogram("h", boundaries=[1.0])
+        assert list(clone.boundaries) == [1.0]  # no rogue inf boundary
+        assert clone.exemplars == [None, ((("span_id", "7"),), 4.0)]
+
     def test_stage_histogram_links_to_real_spans(self, traced_build):
         from repro.obs.export import parse_prometheus_text, prometheus_text
 

@@ -15,7 +15,15 @@ provides:
 * structured diagnostics with JSON and SARIF 2.1.0 renderings and the
   0/2/3 exit-code contract (:mod:`repro.analysis.diagnostics`);
 * the checker front end (:mod:`repro.analysis.checker`) with
-  ``#pragma socrates suppress(RULE, ...)`` support.
+  ``#pragma socrates suppress(RULE, ...)`` support;
+* the **interprocedural layer** — an interval/value-range abstract
+  interpreter (:mod:`repro.analysis.intervals`), call-graph
+  construction with bottom-up function summaries
+  (:mod:`repro.analysis.interproc`), the flag-safety rule family
+  ``FPS201``-``FPS204`` (:mod:`repro.analysis.flagsafety`), and the
+  static cost oracle + lattice :class:`PrunePlan`
+  (:mod:`repro.analysis.cost`) that lets the DSE skip
+  statically-dominated points without changing its Pareto fronts.
 
 The toolflow runs :func:`verify_weave` as a post-weave gate; the
 ``socrates check`` CLI lints pristine and woven Polybench sources.
@@ -31,6 +39,15 @@ from repro.analysis.checker import (
     collect_suppressions,
     parse_suppress_pragma,
 )
+from repro.analysis.cost import (
+    KernelCostReport,
+    PrunePlan,
+    PrunedPoint,
+    RooflinePredictor,
+    build_prune_plan,
+    cross_validate,
+    kernel_cost_report,
+)
 from repro.analysis.diagnostics import (
     EXIT_CLEAN,
     EXIT_ERRORS,
@@ -38,6 +55,23 @@ from repro.analysis.diagnostics import (
     CheckReport,
     Diagnostic,
     Severity,
+)
+from repro.analysis.flagsafety import (
+    FlagSafetyVerdict,
+    check_unit_flag_safety,
+    flag_safety_verdict,
+)
+from repro.analysis.interproc import (
+    CallGraph,
+    FunctionSummary,
+    build_call_graph,
+    summarize_unit,
+)
+from repro.analysis.intervals import (
+    Interval,
+    analyze_function,
+    array_footprints,
+    eval_interval,
 )
 from repro.analysis.races import (
     check_function_races,
@@ -48,23 +82,41 @@ from repro.analysis.rules import RULES, Rule
 from repro.analysis.weavecheck import verify_weave
 
 __all__ = [
+    "CallGraph",
     "CheckReport",
     "Diagnostic",
     "EXIT_CLEAN",
     "EXIT_ERRORS",
     "EXIT_WARNINGS",
+    "FlagSafetyVerdict",
+    "FunctionSummary",
+    "Interval",
+    "KernelCostReport",
+    "PrunePlan",
+    "PrunedPoint",
     "RULES",
+    "RooflinePredictor",
     "Rule",
     "Severity",
+    "analyze_function",
     "apply_suppressions",
+    "array_footprints",
+    "build_call_graph",
+    "build_prune_plan",
     "check_app",
     "check_apps",
     "check_function_races",
     "check_region_races",
     "check_source_text",
     "check_unit",
+    "check_unit_flag_safety",
     "check_unit_races",
     "collect_suppressions",
+    "cross_validate",
+    "eval_interval",
+    "flag_safety_verdict",
+    "kernel_cost_report",
     "parse_suppress_pragma",
+    "summarize_unit",
     "verify_weave",
 ]

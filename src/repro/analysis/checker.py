@@ -107,8 +107,14 @@ def check_unit(
     plan=None,
 ) -> List[Diagnostic]:
     """All diagnostics of one translation unit, suppressions applied."""
+    from repro.analysis.flagsafety import check_unit_flag_safety
+
     _, lines = to_source_with_map(unit)
     diagnostics = check_unit_races(unit, filename, lines, phase)
+    if phase == "pristine":
+        # flag-safety is a property of the original kernel; running it
+        # on the woven clones would only repeat each finding per version
+        diagnostics.extend(check_unit_flag_safety(unit, filename, lines, phase))
     if plan is not None:
         diagnostics.extend(verify_weave(unit, plan, filename, lines))
     return apply_suppressions(diagnostics, collect_suppressions(unit))

@@ -118,12 +118,27 @@ class CheckReport:
         }
 
     def as_sarif(self) -> Dict[str, object]:
-        """Render as a SARIF 2.1.0 document (one run, one driver)."""
+        """Render as a SARIF 2.1.0 document (one run, one driver).
+
+        The driver embeds the *complete* rule catalogue (sorted by id)
+        so code-scanning UIs can show metadata even for rules that did
+        not fire, and every result carries its ``ruleIndex`` into that
+        catalogue plus a stable partial fingerprint
+        (``socratesCheck/v1``) for alert deduplication across runs.
+        The fingerprint hashes rule, file, function, phase and message
+        — deliberately *not* the line number, so unrelated edits that
+        shift the printed source do not resurrect dismissed alerts —
+        and appends an ordinal to disambiguate identical findings.
+        """
+        import hashlib
+
         from repro.analysis.rules import RULES
 
-        fired = sorted({d.rule for d in self.diagnostics})
+        catalogue = sorted(RULES)
+        extra = sorted({d.rule for d in self.diagnostics} - set(catalogue))
+        rule_index = {rule_id: i for i, rule_id in enumerate(catalogue + extra)}
         rules = []
-        for rule_id in fired:
+        for rule_id in catalogue + extra:
             rule = RULES.get(rule_id)
             entry: Dict[str, object] = {"id": rule_id}
             if rule is not None:
@@ -134,6 +149,7 @@ class CheckReport:
                 }
             rules.append(entry)
         results = []
+        fingerprint_ordinals: Dict[str, int] = {}
         for diag in self.diagnostics:
             location: Dict[str, object] = {
                 "physicalLocation": {
@@ -148,12 +164,22 @@ class CheckReport:
             message = diag.message
             if diag.hint:
                 message += f" Hint: {diag.hint}"
+            identity = "|".join(
+                (diag.rule, diag.file, diag.function or "", diag.phase, diag.message)
+            )
+            digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:32]
+            ordinal = fingerprint_ordinals.get(digest, 0)
+            fingerprint_ordinals[digest] = ordinal + 1
             results.append(
                 {
                     "ruleId": diag.rule,
+                    "ruleIndex": rule_index[diag.rule],
                     "level": diag.severity.sarif_level,
                     "message": {"text": message},
                     "locations": [location],
+                    "partialFingerprints": {
+                        "socratesCheck/v1": f"{digest}:{ordinal}"
+                    },
                     "properties": {"phase": diag.phase},
                 }
             )

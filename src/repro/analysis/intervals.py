@@ -1,0 +1,773 @@
+"""Value-range (interval) abstract interpretation over CIR.
+
+The domain is the classic integer-interval lattice: an
+:class:`Interval` is either BOTTOM (no value), a possibly half-open
+range ``[lo, hi]`` (``None`` encodes the respective infinity), or TOP
+(``[-inf, +inf]``).  ``join``/``meet`` are the lattice operations and
+``widen`` is the standard widening (a bound that grew jumps straight
+to its infinity), which terminates in at most three steps per
+variable and makes the loop fixpoints below finite.
+
+:func:`analyze_function` runs a flow-sensitive abstract interpreter
+over one function body and records, per ``for`` loop:
+
+* the abstract environment at loop entry (after the init clause);
+* the *locally-constant facts* — variables whose interval is a
+  singleton at loop entry.  These are what
+  :meth:`repro.cir.analysis.LoopInfo.trip_count` consumes to resolve
+  bounds held in locally-constant variables rather than literals;
+* a sound interval for the trip count and for the induction variable
+  inside the body.
+
+:func:`array_footprints` then turns the per-loop induction ranges
+into per-array accessed-extent estimates — the footprint side of the
+static cost oracle (:mod:`repro.analysis.cost`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cir import ast
+from repro.cir.analysis import LoopInfo, _step_value, collect_loops
+from repro.cir.visitor import walk
+
+__all__ = [
+    "Interval",
+    "TOP",
+    "BOTTOM",
+    "Env",
+    "LoopFacts",
+    "FunctionFacts",
+    "ArrayFootprint",
+    "analyze_function",
+    "array_footprints",
+    "eval_interval",
+    "join_envs",
+    "loop_constant_facts",
+    "trip_interval",
+    "widen_envs",
+]
+
+
+def _neg(value: Optional[int]) -> Optional[int]:
+    return None if value is None else -value
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An integer range ``[lo, hi]``; ``None`` bounds are infinite.
+
+    The empty interval (BOTTOM) is canonical: ``lo``/``hi`` are
+    ``None`` and ``empty`` is True, so structural equality works for
+    the lattice laws.
+    """
+
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    empty: bool = False
+
+    def __post_init__(self) -> None:
+        if self.empty or (
+            self.lo is not None and self.hi is not None and self.lo > self.hi
+        ):
+            object.__setattr__(self, "lo", None)
+            object.__setattr__(self, "hi", None)
+            object.__setattr__(self, "empty", True)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls()
+
+    @classmethod
+    def bottom(cls) -> "Interval":
+        return cls(empty=True)
+
+    @classmethod
+    def const(cls, value: int) -> "Interval":
+        return cls(lo=value, hi=value)
+
+    @classmethod
+    def range(cls, lo: Optional[int], hi: Optional[int]) -> "Interval":
+        return cls(lo=lo, hi=hi)
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return not self.empty and self.lo is None and self.hi is None
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.empty and self.lo is not None and self.lo == self.hi
+
+    @property
+    def constant(self) -> Optional[int]:
+        return self.lo if self.is_constant else None
+
+    @property
+    def width(self) -> Optional[int]:
+        """Number of integers covered, ``None`` when unbounded."""
+        if self.empty:
+            return 0
+        if self.lo is None or self.hi is None:
+            return None
+        return self.hi - self.lo + 1
+
+    def contains(self, value: int) -> bool:
+        if self.empty:
+            return False
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def covers(self, other: "Interval") -> bool:
+        """Lattice order: is ``other`` contained in ``self``?"""
+        if other.empty:
+            return True
+        if self.empty:
+            return False
+        lo_ok = self.lo is None or (other.lo is not None and other.lo >= self.lo)
+        hi_ok = self.hi is None or (other.hi is not None and other.hi <= self.hi)
+        return lo_ok and hi_ok
+
+    # -- lattice operations --------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOTTOM
+        if self.lo is None:
+            lo = other.lo
+        elif other.lo is None:
+            lo = self.lo
+        else:
+            lo = max(self.lo, other.lo)
+        if self.hi is None:
+            hi = other.hi
+        elif other.hi is None:
+            hi = self.hi
+        else:
+            hi = min(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard widening: a bound that moved jumps to infinity."""
+        if self.empty:
+            return newer
+        if newer.empty:
+            return self
+        if self.lo is None or newer.lo is None:
+            lo = None
+        else:
+            lo = self.lo if newer.lo >= self.lo else None
+        if self.hi is None or newer.hi is None:
+            hi = None
+        else:
+            hi = self.hi if newer.hi <= self.hi else None
+        return Interval(lo, hi)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOTTOM
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return self + (-other)
+
+    def __neg__(self) -> "Interval":
+        if self.empty:
+            return BOTTOM
+        return Interval(_neg(self.hi), _neg(self.lo))
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOTTOM
+        candidates: List[Optional[int]] = []
+        unbounded = False
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                if a is None or b is None:
+                    # inf * 0 contributes nothing; any other infinite
+                    # product makes the result unbounded on some side
+                    if (a == 0) or (b == 0):
+                        candidates.append(0)
+                    else:
+                        unbounded = True
+                else:
+                    candidates.append(a * b)
+        if unbounded or not candidates:
+            return TOP
+        finite = [c for c in candidates if c is not None]
+        return Interval(min(finite), max(finite))
+
+    def div(self, other: "Interval") -> "Interval":
+        """C-semantics (truncating) integer division."""
+        if self.empty or other.empty:
+            return BOTTOM
+        if other.contains(0):
+            return TOP  # division by zero is UB: anything goes
+        if self.lo is None or self.hi is None or other.lo is None or other.hi is None:
+            return TOP
+        results = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                quotient = abs(a) // abs(b)
+                results.append(quotient if (a < 0) == (b < 0) else -quotient)
+        return Interval(min(results), max(results))
+
+    def mod(self, other: "Interval") -> "Interval":
+        """C-semantics remainder; precise only for non-negative operands."""
+        if self.empty or other.empty:
+            return BOTTOM
+        if (
+            other.lo is not None
+            and other.lo > 0
+            and other.hi is not None
+            and self.lo is not None
+            and self.lo >= 0
+        ):
+            hi = other.hi - 1
+            if self.hi is not None:
+                hi = min(hi, self.hi)
+            return Interval(0, hi)
+        return TOP
+
+
+TOP = Interval()
+BOTTOM = Interval(empty=True)
+
+#: Abstract environment: variable name -> interval.  Missing names are TOP.
+Env = Dict[str, Interval]
+
+
+def _env_get(env: Mapping[str, Interval], name: str) -> Interval:
+    return env.get(name, TOP)
+
+
+def _normalize_env(env: Env) -> Env:
+    """Drop TOP entries so environments compare structurally."""
+    return {name: iv for name, iv in env.items() if not iv.is_top}
+
+
+def join_envs(a: Mapping[str, Interval], b: Mapping[str, Interval]) -> Env:
+    """Pointwise join; a variable missing on one side is TOP there."""
+    joined: Env = {}
+    for name in set(a) | set(b):
+        joined[name] = _env_get(a, name).join(_env_get(b, name))
+    return _normalize_env(joined)
+
+
+def widen_envs(older: Mapping[str, Interval], newer: Mapping[str, Interval]) -> Env:
+    """Pointwise widening of ``older`` by ``newer``."""
+    widened: Env = {}
+    for name in set(older) | set(newer):
+        widened[name] = _env_get(older, name).widen(_env_get(newer, name))
+    return _normalize_env(widened)
+
+
+# ---------------------------------------------------------------------------
+# expression evaluation
+# ---------------------------------------------------------------------------
+
+_COMPARISONS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+_LOGICAL = frozenset({"&&", "||"})
+
+
+def eval_interval(expr: Optional[ast.Expr], env: Mapping[str, Interval]) -> Interval:
+    """Sound interval of an integer expression under ``env``.
+
+    Anything the domain cannot model (array elements, call results,
+    floating arithmetic) evaluates to TOP, never to a wrong range.
+    """
+    if expr is None:
+        return TOP
+    if isinstance(expr, ast.IntLit):
+        return Interval.const(expr.value)
+    if isinstance(expr, ast.Ident):
+        return _env_get(env, expr.name)
+    if isinstance(expr, ast.Cast):
+        return eval_interval(expr.operand, env)
+    if isinstance(expr, ast.TernaryOp):
+        return eval_interval(expr.then, env).join(eval_interval(expr.other, env))
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "-":
+            return -eval_interval(expr.operand, env)
+        if expr.op == "+":
+            return eval_interval(expr.operand, env)
+        if expr.op == "!":
+            return Interval(0, 1)
+        if expr.op in ("++", "--") and isinstance(expr.operand, ast.Ident):
+            base = _env_get(env, expr.operand.name)
+            one = Interval.const(1)
+            stepped = base + one if expr.op == "++" else base - one
+            # postfix yields the old value, prefix the new one
+            return base if expr.postfix else stepped
+        return TOP
+    if isinstance(expr, ast.Assign):
+        # value of an assignment expression is its stored value
+        return _assigned_interval(expr, env)
+    if isinstance(expr, ast.BinOp):
+        if expr.op in _COMPARISONS or expr.op in _LOGICAL:
+            return Interval(0, 1)
+        if expr.op == ",":
+            return eval_interval(expr.rhs, env)
+        lhs = eval_interval(expr.lhs, env)
+        rhs = eval_interval(expr.rhs, env)
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            return lhs * rhs
+        if expr.op == "/":
+            return lhs.div(rhs)
+        if expr.op == "%":
+            return lhs.mod(rhs)
+        return TOP
+    return TOP  # ArrayRef, Call, Member, SizeOf, ...
+
+
+def _assigned_interval(assign: ast.Assign, env: Mapping[str, Interval]) -> Interval:
+    rhs = eval_interval(assign.rhs, env)
+    if assign.op == "=":
+        return rhs
+    if not isinstance(assign.lhs, ast.Ident):
+        return TOP
+    current = _env_get(env, assign.lhs.name)
+    if assign.op == "+=":
+        return current + rhs
+    if assign.op == "-=":
+        return current - rhs
+    if assign.op == "*=":
+        return current * rhs
+    if assign.op == "/=":
+        return current.div(rhs)
+    if assign.op == "%=":
+        return current.mod(rhs)
+    return TOP
+
+
+# ---------------------------------------------------------------------------
+# per-function analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoopFacts:
+    """What the abstract interpreter learned about one ``for`` loop."""
+
+    entry_env: Env
+    constants: Dict[str, int]
+    trip: Optional[Interval]
+    iv_range: Optional[Interval]
+    induction: Optional[str]
+
+
+@dataclass
+class FunctionFacts:
+    """Interval facts for one function, keyed by ``id(For node)``."""
+
+    function: str
+    loops: Dict[int, LoopFacts] = field(default_factory=dict)
+    exit_env: Env = field(default_factory=dict)
+    resolved: bool = True
+
+    def constants_at(self, loop: ast.For) -> Dict[str, int]:
+        """Locally-constant variables at ``loop``'s entry (may be empty)."""
+        facts = self.loops.get(id(loop))
+        return dict(facts.constants) if facts is not None else {}
+
+
+_MAX_FIXPOINT_ITERATIONS = 64
+
+
+def trip_interval(loop: ast.For, env: Mapping[str, Interval]) -> Optional[Interval]:
+    """Sound interval for the trip count of ``loop`` under ``env``.
+
+    Mirrors :meth:`LoopInfo.trip_count` — ``<``/``<=``/``>``/``>=``
+    conditions with a constant additive step — but tolerates *ranges*
+    for the bounds, which is what triangular nests produce.
+    """
+    cond = loop.cond
+    if not isinstance(cond, ast.BinOp) or cond.op not in ("<", "<=", ">", ">="):
+        return None
+    constants = {
+        name: iv.constant
+        for name, iv in env.items()
+        if iv.is_constant and iv.constant is not None
+    }
+    step = _step_value(loop.step, constants)
+    if step is None or step == 0:
+        return None
+    lower = _init_interval(loop.init, env)
+    upper = eval_interval(cond.rhs, env)
+    if lower is None or lower.empty or upper.empty:
+        return None
+    if cond.op in ("<", "<="):
+        if step < 0:
+            return None
+        span = upper - lower
+        if cond.op == "<=":
+            span = span + Interval.const(1)
+    else:
+        if step > 0:
+            return None
+        span = lower - upper
+        if cond.op == ">=":
+            span = span + Interval.const(1)
+    step = abs(step)
+
+    def trips(bound: Optional[int]) -> Optional[int]:
+        if bound is None:
+            return None
+        if bound <= 0:
+            return 0
+        return (bound + step - 1) // step
+
+    lo = trips(span.lo)
+    hi = trips(span.hi)
+    if span.lo is None:
+        lo = 0
+    return Interval(lo, hi)
+
+
+def _init_interval(
+    init: Optional[ast.Stmt], env: Mapping[str, Interval]
+) -> Optional[Interval]:
+    if isinstance(init, ast.Decl) and init.init is not None:
+        return eval_interval(init.init, env)
+    if isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assign):
+        if init.expr.op == "=":
+            return eval_interval(init.expr.rhs, env)
+    return None
+
+
+def _has_direct_break(body: ast.Stmt) -> bool:
+    """A ``break`` that exits *this* loop (not a nested one)."""
+
+    def scan(node: ast.Node) -> bool:
+        if isinstance(node, ast.Break):
+            return True
+        if isinstance(node, (ast.For, ast.While, ast.DoWhile)):
+            return False  # break there exits the inner loop
+        from repro.cir.visitor import iter_child_nodes
+
+        return any(scan(child) for child in iter_child_nodes(node))
+
+    from repro.cir.visitor import iter_child_nodes
+
+    return any(scan(child) for child in iter_child_nodes(body)) or isinstance(
+        body, ast.Break
+    )
+
+
+class _AbstractInterpreter:
+    """Flow-sensitive interval interpreter over one function body."""
+
+    def __init__(self, facts: FunctionFacts) -> None:
+        self._facts = facts
+
+    # -- condition refinement ------------------------------------------------
+
+    def _refine(self, env: Env, cond: Optional[ast.Expr], branch: bool) -> Env:
+        if cond is None or not isinstance(cond, ast.BinOp):
+            return dict(env)
+        op = cond.op
+        if op == "&&" and branch:
+            return self._refine(self._refine(env, cond.lhs, True), cond.rhs, True)
+        if op == "||" and not branch:
+            return self._refine(self._refine(env, cond.lhs, False), cond.rhs, False)
+        if op not in _COMPARISONS:
+            return dict(env)
+        if not branch:
+            op = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}[op]
+        refined = dict(env)
+        self._refine_side(refined, cond.lhs, op, cond.rhs)
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+        self._refine_side(refined, cond.rhs, flipped[op], cond.lhs)
+        return refined
+
+    def _refine_side(
+        self, env: Env, subject: ast.Expr, op: str, bound_expr: ast.Expr
+    ) -> None:
+        if not isinstance(subject, ast.Ident):
+            return
+        bound = eval_interval(bound_expr, env)
+        if bound.empty:
+            return
+        name = subject.name
+        current = _env_get(env, name)
+        if op == "<" and bound.hi is not None:
+            current = current.meet(Interval(None, bound.hi - 1))
+        elif op == "<=" and bound.hi is not None:
+            current = current.meet(Interval(None, bound.hi))
+        elif op == ">" and bound.lo is not None:
+            current = current.meet(Interval(bound.lo + 1, None))
+        elif op == ">=" and bound.lo is not None:
+            current = current.meet(Interval(bound.lo, None))
+        elif op == "==":
+            current = current.meet(bound)
+        if not current.is_top:
+            env[name] = current
+
+    # -- side effects --------------------------------------------------------
+
+    def _apply_effect(self, expr: ast.Expr, env: Env) -> Env:
+        """Execute the side effect of one expression (step clauses,
+        expression statements); unknown effect shapes havoc their
+        targets rather than being ignored."""
+        env = dict(env)
+        if isinstance(expr, ast.Assign):
+            env = self._havoc_inner(expr.rhs, env)
+            if isinstance(expr.lhs, ast.Ident):
+                env[expr.lhs.name] = _assigned_interval(expr, env)
+            return env
+        if isinstance(expr, ast.UnaryOp) and expr.op in ("++", "--"):
+            if isinstance(expr.operand, ast.Ident):
+                delta = Interval.const(1 if expr.op == "++" else -1)
+                env[expr.operand.name] = _env_get(env, expr.operand.name) + delta
+            return env
+        if isinstance(expr, ast.BinOp) and expr.op == ",":
+            env = self._apply_effect(expr.lhs, env)
+            return self._apply_effect(expr.rhs, env)
+        return self._havoc_inner(expr, env)
+
+    @staticmethod
+    def _havoc_inner(expr: Optional[ast.Expr], env: Env) -> Env:
+        """Forget variables mutated by side effects *inside* ``expr``."""
+        if expr is None:
+            return env
+        touched = set()
+        for node in walk(expr):
+            if isinstance(node, ast.Assign) and isinstance(node.lhs, ast.Ident):
+                touched.add(node.lhs.name)
+            elif (
+                isinstance(node, ast.UnaryOp)
+                and node.op in ("++", "--")
+                and isinstance(node.operand, ast.Ident)
+            ):
+                touched.add(node.operand.name)
+        if touched:
+            env = {name: iv for name, iv in env.items() if name not in touched}
+        return env
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_stmt(self, stmt: Optional[ast.Stmt], env: Env) -> Env:
+        if stmt is None:
+            return env
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                env = self.exec_stmt(child, env)
+            return env
+        if isinstance(stmt, ast.Decl):
+            return self._exec_decl(stmt, env)
+        if isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                env = self._exec_decl(decl, env)
+            return env
+        if isinstance(stmt, ast.ExprStmt):
+            return self._apply_effect(stmt.expr, dict(env))
+        if isinstance(stmt, ast.If):
+            then_env = self.exec_stmt(stmt.then, self._refine(env, stmt.cond, True))
+            other_env = self.exec_stmt(stmt.other, self._refine(env, stmt.cond, False))
+            return join_envs(then_env, other_env)
+        if isinstance(stmt, ast.For):
+            return self._exec_for(stmt, env)
+        if isinstance(stmt, (ast.While, ast.DoWhile)):
+            return self._exec_while(stmt, env)
+        # Return/Break/Continue/Pragma/EmptyStmt: no binding effect
+        return env
+
+    def _exec_decl(self, decl: ast.Decl, env: Env) -> Env:
+        env = dict(env)
+        if decl.array_dims:
+            env.pop(decl.name, None)  # array contents are not tracked
+        elif decl.init is not None:
+            env[decl.name] = eval_interval(decl.init, env)
+        else:
+            env.pop(decl.name, None)  # uninitialized: TOP
+        return env
+
+    def _exec_for(self, loop: ast.For, env: Env) -> Env:
+        env = self.exec_stmt(loop.init, dict(env))
+        entry = _normalize_env(dict(env))
+        state = dict(entry)
+        for iteration in range(_MAX_FIXPOINT_ITERATIONS):
+            body_in = self._refine(state, loop.cond, True)
+            body_out = self.exec_stmt(loop.body, body_in)
+            if loop.step is not None:
+                body_out = self._apply_effect(loop.step, body_out)
+            joined = join_envs(state, body_out)
+            updated = widen_envs(state, joined) if iteration >= 1 else joined
+            if updated == state:
+                break
+            state = updated
+        info = LoopInfo(node=loop, depth=0)
+        iv = info.induction_variable
+        body_env = self._refine(state, loop.cond, True)
+        trip = trip_interval(loop, entry)
+        self._facts.loops[id(loop)] = LoopFacts(
+            entry_env=entry,
+            constants={
+                name: iv_.constant
+                for name, iv_ in entry.items()
+                if iv_.is_constant and iv_.constant is not None
+            },
+            trip=trip,
+            iv_range=_env_get(body_env, iv) if iv is not None else None,
+            induction=iv,
+        )
+        if trip is None or trip.hi is None:
+            self._facts.resolved = False
+        if _has_direct_break(loop.body):
+            return _normalize_env(state)
+        return _normalize_env(self._refine(state, loop.cond, False))
+
+    def _exec_while(self, loop, env: Env) -> Env:
+        self._facts.resolved = False
+        state = dict(env)
+        for iteration in range(_MAX_FIXPOINT_ITERATIONS):
+            body_in = self._refine(state, loop.cond, True)
+            body_out = self.exec_stmt(loop.body, body_in)
+            joined = join_envs(state, body_out)
+            updated = widen_envs(state, joined) if iteration >= 1 else joined
+            if updated == state:
+                break
+            state = updated
+        if _has_direct_break(loop.body):
+            return _normalize_env(state)
+        return _normalize_env(self._refine(state, loop.cond, False))
+
+
+def analyze_function(
+    func: ast.FunctionDef, env: Optional[Mapping[str, int]] = None
+) -> FunctionFacts:
+    """Interval facts for ``func`` under macro/parameter bindings ``env``."""
+    facts = FunctionFacts(function=func.name)
+    interpreter = _AbstractInterpreter(facts)
+    initial: Env = {
+        name: Interval.const(value) for name, value in (env or {}).items()
+    }
+    facts.exit_env = interpreter.exec_stmt(func.body, initial)
+    return facts
+
+
+def loop_constant_facts(
+    func: ast.FunctionDef, env: Optional[Mapping[str, int]] = None
+) -> Dict[int, Dict[str, int]]:
+    """Locally-constant variables at each loop entry, keyed by ``id(For)``.
+
+    The bridge into :meth:`LoopInfo.trip_count`: a bound like
+    ``for (i = 0; i < n; i++)`` where ``n`` was assigned a constant
+    earlier in the function resolves through these facts.
+    """
+    facts = analyze_function(func, env)
+    return {key: dict(lf.constants) for key, lf in facts.loops.items()}
+
+
+# ---------------------------------------------------------------------------
+# footprints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayFootprint:
+    """Accessed extent of one array inside a function or loop nest."""
+
+    array: str
+    extents: Tuple[int, ...]
+    declared: Tuple[int, ...]
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for extent in self.extents:
+            count *= extent
+        return count
+
+    def bytes(self, element_bytes: float = 8.0) -> float:
+        return self.element_count * element_bytes
+
+
+def array_footprints(
+    root: ast.Node,
+    facts: FunctionFacts,
+    env: Optional[Mapping[str, int]] = None,
+    declared: Optional[Mapping[str, Tuple[int, ...]]] = None,
+) -> Dict[str, ArrayFootprint]:
+    """Per-array accessed extents under ``root`` (a function or loop).
+
+    Index expressions are evaluated in an environment that binds every
+    induction variable to its inferred range; unbounded dimensions
+    fall back to the declared extent (and are clipped by it).
+    """
+    declared = declared or {}
+    index_env: Env = {
+        name: Interval.const(value) for name, value in (env or {}).items()
+    }
+    for info in collect_loops(root):
+        loop_facts = facts.loops.get(id(info.node))
+        if loop_facts is None or loop_facts.induction is None:
+            continue
+        iv_range = loop_facts.iv_range
+        if iv_range is None or iv_range.empty:
+            continue
+        existing = index_env.get(loop_facts.induction)
+        index_env[loop_facts.induction] = (
+            iv_range if existing is None else existing.join(iv_range)
+        )
+    ranges: Dict[str, List[Interval]] = {}
+    for node in walk(root):
+        if not (isinstance(node, ast.ArrayRef) and isinstance(node.base, ast.Ident)):
+            continue
+        name = node.base.name
+        dims = [eval_interval(index, index_env) for index in node.indices]
+        known = ranges.get(name)
+        if known is None or len(known) < len(dims):
+            merged = list(dims)
+            for position, old in enumerate(known or []):
+                merged[position] = merged[position].join(old)
+            ranges[name] = merged
+        else:
+            for position, dim in enumerate(dims):
+                known[position] = known[position].join(dim)
+    footprints: Dict[str, ArrayFootprint] = {}
+    for name, dims in sorted(ranges.items()):
+        declared_dims = tuple(declared.get(name, ()))
+        extents: List[int] = []
+        for position, dim in enumerate(dims):
+            limit = (
+                declared_dims[position] if position < len(declared_dims) else None
+            )
+            width = dim.width
+            if width is None:
+                if limit is None:
+                    width = 0  # unknown extent with no declaration: skip
+                else:
+                    width = limit
+            if limit is not None:
+                width = min(width, limit)
+            extents.append(max(0, width))
+        footprints[name] = ArrayFootprint(
+            array=name, extents=tuple(extents), declared=declared_dims
+        )
+    return footprints

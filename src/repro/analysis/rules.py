@@ -1,12 +1,19 @@
 """The ``socrates check`` rule catalogue.
 
-Two families:
+Three families:
 
 * ``OMP0xx`` — OpenMP data-race lint over ``#pragma omp parallel
   for`` regions (applies to pristine and woven sources alike);
 * ``WV1xx`` — weave-verifier structural checks over ``Weaver``
   output (woven sources only; all error severity, because a
-  violation corrupts every downstream DSE point).
+  violation corrupts every downstream DSE point);
+* ``FPS2xx`` — flag-safety analysis (pristine sources only): code
+  shapes that make aggressive compiler-flag versions unsafe
+  (fast-math reassociation of FP reductions, reordering of
+  alias-dependent loops) or pointless (no-inline in call-dense
+  regions).  These verdicts also feed the static
+  :class:`~repro.analysis.cost.PrunePlan` that masks lattice points
+  before the DSE runs.
 
 The catalogue is what ``docs/static_analysis.md`` documents and what
 the SARIF export embeds as the driver's rule metadata.
@@ -125,6 +132,51 @@ _RULE_LIST = [
             "statement of main(), and every wrapper call must be surrounded "
             "by margot_update/margot_start_monitor before and "
             "margot_stop_monitor/margot_log after, in that order."
+        ),
+    ),
+    Rule(
+        id="FPS201",
+        severity=Severity.WARNING,
+        summary="non-associative floating-point reduction",
+        description=(
+            "An innermost loop accumulates floating-point values into a "
+            "location invariant in its own induction variable.  Fast-math "
+            "flag versions (-funsafe-math-optimizations) reassociate the "
+            "sum and change the rounding, so their results differ bitwise "
+            "from the strict-IEEE versions."
+        ),
+    ),
+    Rule(
+        id="FPS202",
+        severity=Severity.WARNING,
+        summary="loop-carried array dependence constrains reordering flags",
+        description=(
+            "A parallel loop reads array elements produced by other "
+            "iterations (shifted subscripts).  Flag versions that reorder "
+            "or vectorize iterations are unsafe for this loop; the "
+            "compiler model refuses to vectorize it at any level."
+        ),
+    ),
+    Rule(
+        id="FPS203",
+        severity=Severity.WARNING,
+        summary="call-dense loop makes -fno-inline versions pessimizing",
+        description=(
+            "A loop body spends a significant fraction of its operations "
+            "on function calls.  Cloning it with -fno-inline keeps every "
+            "call out-of-line and slows the region down; such flag "
+            "versions are pointless members of the autotuning lattice."
+        ),
+    ),
+    Rule(
+        id="FPS204",
+        severity=Severity.WARNING,
+        summary="callee constrains flag safety interprocedurally",
+        description=(
+            "A function called from this loop contains a non-associative "
+            "floating-point reduction, so fast-math flag versions of the "
+            "caller inherit the bitwise-result hazard even though the "
+            "caller's own loops look safe."
         ),
     ),
 ]

@@ -26,7 +26,13 @@ class LoopInfo:
 
     @property
     def induction_variable(self) -> Optional[str]:
-        """The loop counter name, when the init is a simple decl/assign."""
+        """The loop counter name, when the init is a simple decl/assign.
+
+        When the init clause is empty or not a recognizable counter
+        initialization (``for (; i < n; i++)``, comma inits), the step
+        expression is consulted instead: a ``i++``/``i--``/``i += c``/
+        ``i = i + c`` step names the counter just as reliably.
+        """
         init = self.node.init
         if isinstance(init, ast.Decl):
             return init.name
@@ -34,11 +40,29 @@ class LoopInfo:
             lhs = init.expr.lhs
             if isinstance(lhs, ast.Ident):
                 return lhs.name
+        step = self.node.step
+        if (
+            isinstance(step, ast.UnaryOp)
+            and step.op in ("++", "--")
+            and isinstance(step.operand, ast.Ident)
+        ):
+            return step.operand.name
+        if isinstance(step, ast.Assign) and isinstance(step.lhs, ast.Ident):
+            return step.lhs.name
         return None
 
-    def bounds(self, env: Optional[Dict[str, int]] = None) -> Optional[Tuple[int, int]]:
-        """(init value, condition bound) of the loop when evaluable."""
-        env = env or {}
+    def bounds(
+        self,
+        env: Optional[Dict[str, int]] = None,
+        facts: Optional[Dict[str, int]] = None,
+    ) -> Optional[Tuple[int, int]]:
+        """(init value, condition bound) of the loop when evaluable.
+
+        ``facts`` supplies locally-constant variable values (from the
+        interval analysis in :mod:`repro.analysis.intervals`); they
+        shadow ``env`` the way locals shadow macro aliases.
+        """
+        env = _merge_env(env, facts)
         lower = _init_value(self.node.init, env)
         cond = self.node.cond
         if lower is None or not isinstance(cond, ast.BinOp):
@@ -48,23 +72,34 @@ class LoopInfo:
             return None
         return lower, upper
 
-    def midpoint(self, env: Optional[Dict[str, int]] = None) -> Optional[int]:
+    def midpoint(
+        self,
+        env: Optional[Dict[str, int]] = None,
+        facts: Optional[Dict[str, int]] = None,
+    ) -> Optional[int]:
         """Average value of the induction variable over the loop range."""
-        bounds = self.bounds(env)
+        bounds = self.bounds(env, facts)
         if bounds is None:
             return None
         return (bounds[0] + bounds[1]) // 2
 
-    def trip_count(self, env: Optional[Dict[str, int]] = None) -> Optional[int]:
+    def trip_count(
+        self,
+        env: Optional[Dict[str, int]] = None,
+        facts: Optional[Dict[str, int]] = None,
+    ) -> Optional[int]:
         """Evaluate the loop trip count under macro environment ``env``.
 
         Handles the canonical Polybench shape ``for (i = L; i < U; i++)``
         (also ``<=``/``>``/``>=``, non-unit additive steps and the
-        ``i = i + c`` step form).  Returns ``None`` when the bounds are
-        not statically evaluable or the step runs away from the bound
-        (a non-terminating loop under C semantics).
+        ``i = i + c`` step form).  ``facts`` supplies locally-constant
+        variable values discovered by the interval analysis, so bounds
+        held in variables (``int n = 4000; for (i = 0; i < n; i++)``)
+        resolve without being macros.  Returns ``None`` when the bounds
+        are not statically evaluable or the step runs away from the
+        bound (a non-terminating loop under C semantics).
         """
-        env = env or {}
+        env = _merge_env(env, facts)
         lower = _init_value(self.node.init, env)
         cond = self.node.cond
         if lower is None or not isinstance(cond, ast.BinOp):
@@ -89,6 +124,17 @@ class LoopInfo:
         if span <= 0:
             return 0
         return (span + step - 1) // step
+
+
+def _merge_env(
+    env: Optional[Dict[str, int]], facts: Optional[Dict[str, int]]
+) -> Dict[str, int]:
+    """Macro environment overlaid with locally-constant facts."""
+    if not facts:
+        return env or {}
+    merged = dict(env or {})
+    merged.update(facts)
+    return merged
 
 
 def _init_value(init: Optional[ast.Stmt], env: Dict[str, int]) -> Optional[int]:

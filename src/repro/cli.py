@@ -47,7 +47,11 @@ def _add_machine_argument(parser: argparse.ArgumentParser) -> None:
 
 def _make_obs(args: argparse.Namespace):
     """An enabled Observability when any obs flag asks for one, else None."""
-    if getattr(args, "trace_out", None) or getattr(args, "audit_out", None):
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "audit_out", None)
+        or getattr(args, "metrics_out", None)
+    ):
         from repro.obs import Observability
 
         return Observability()
@@ -75,23 +79,76 @@ def _toolflow(args: argparse.Namespace, obs=None):
 
 
 def _write_obs_artifacts(obs, args: argparse.Namespace) -> None:
-    """Honor --trace-out / --audit-out from any obs-enabled command."""
+    """Honor --trace-out / --audit-out / --metrics-out from any
+    obs-enabled command.
+
+    Notices go to stderr so they never corrupt a --json document on
+    stdout."""
     if getattr(args, "trace_out", None):
         from repro.obs.export import write_chrome_trace
 
         count = write_chrome_trace(obs.tracer.spans, args.trace_out)
-        print(f"Wrote Chrome trace to {args.trace_out} ({count} spans)")
+        print(
+            f"Wrote Chrome trace to {args.trace_out} ({count} spans)",
+            file=sys.stderr,
+        )
     if getattr(args, "audit_out", None):
         from repro.obs.export import write_audit_jsonl
 
         count = write_audit_jsonl(obs.audit, args.audit_out)
-        print(f"Wrote adaptation audit to {args.audit_out} ({count} entries)")
+        print(
+            f"Wrote adaptation audit to {args.audit_out} ({count} entries)",
+            file=sys.stderr,
+        )
+    if getattr(args, "metrics_out", None):
+        from repro.obs.export import write_prometheus
+
+        count = write_prometheus(obs.metrics, args.metrics_out)
+        print(
+            f"Wrote metrics to {args.metrics_out} ({count} series)",
+            file=sys.stderr,
+        )
 
 
 def _load_app(name: str):
     from repro.polybench.suite import load
 
     return load(name)
+
+
+def _standard_space(machine):
+    """The toolflow's default autotuning lattice on ``machine``:
+    standard optimization levels x all thread counts x both bindings
+    (x one pin per cluster type on heterogeneous machines)."""
+    from repro.engine.model import DesignSpace
+    from repro.gcc.flags import standard_levels
+
+    if machine.is_homogeneous:
+        pins, capacities = (None,), None
+    else:
+        pins = tuple(machine.cluster_names())
+        capacities = {name: machine.cluster_logical_cpus(name) for name in pins}
+    return DesignSpace(
+        compiler_configs=standard_levels(),
+        thread_counts=list(range(1, machine.logical_cpus + 1)),
+        clusters=pins,
+        cluster_capacities=capacities,
+    )
+
+
+def _pareto_keys(front):
+    """Canonical (knobs, metrics) form of a Pareto front for equality
+    checks — bit-exact means/stds, stable ordering."""
+    return [
+        {
+            "knobs": dict(op.knobs),
+            "metrics": {
+                name: [stats.mean, stats.std]
+                for name, stats in sorted(op.metrics.items())
+            },
+        }
+        for op in front
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -367,29 +424,83 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """Static analysis: race lint + weave verifier, exit 0/2/3.
+    """Static analysis: race lint + flag safety + weave verifier, exit 0/2/3.
 
     ``socrates check 2mm`` lints one benchmark (pristine + woven);
     ``--all`` covers the whole suite; ``--source FILE`` lints an
-    arbitrary C file (race rules only).  ``--json``/``--sarif`` emit a
-    machine-readable document, to stdout or ``--out FILE``.
+    arbitrary C file (race + flag-safety rules only).
+    ``--json``/``--sarif`` emit a machine-readable document, to stdout
+    or ``--out FILE``.  ``--prune-plan FILE`` (single app) compiles
+    the static verdicts into a lattice prune plan for ``socrates dse``.
     """
     import json
 
-    from repro.analysis import CheckReport, check_apps, check_source_text
+    from repro.analysis import CheckReport, check_app, check_source_text
 
     include_woven = not args.pristine_only
+    obs = _make_obs(args)
     if args.source:
+        if getattr(args, "prune_plan", None):
+            print("error: --prune-plan needs a benchmark app", file=sys.stderr)
+            return 2
         with open(args.source) as handle:
             text = handle.read()
         report = CheckReport()
         report.extend(check_source_text(text, filename=args.source), units=1)
-    elif getattr(args, "all", False):
-        from repro.polybench.suite import all_apps
+    elif getattr(args, "all", False) or args.app:
+        if getattr(args, "all", False):
+            from repro.polybench.suite import all_apps
 
-        report = check_apps(all_apps(), include_woven=include_woven)
-    elif args.app:
-        report = check_apps([_load_app(args.app)], include_woven=include_woven)
+            apps = all_apps()
+            if getattr(args, "prune_plan", None):
+                print(
+                    "error: --prune-plan needs a single benchmark, not --all",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            apps = [_load_app(args.app)]
+        report = CheckReport()
+        for app in apps:
+            diagnostics = check_app(app, include_woven=include_woven)
+            report.extend(diagnostics, units=2 if include_woven else 1)
+            if obs is not None:
+                # mirror the toolflow's post-weave gate: per-rule
+                # counters and one audit trace per diagnostic, exactly
+                # once per app on this CLI path
+                from repro.obs import CheckTrace
+
+                for diag in diagnostics:
+                    obs.metrics.counter(
+                        "socrates_check_diagnostics_total",
+                        "Static-analysis diagnostics emitted by socrates check",
+                        labels={"rule": diag.rule},
+                    ).inc()
+                    if obs.audit is not None:
+                        obs.audit.record_check(
+                            CheckTrace(
+                                app=app.name,
+                                rule=diag.rule,
+                                severity=diag.severity.value,
+                                message=diag.message,
+                                location=diag.location,
+                                phase=diag.phase,
+                            )
+                        )
+        if getattr(args, "prune_plan", None):
+            from repro.analysis.cost import build_prune_plan
+            from repro.machine.registry import resolve_machine
+
+            machine = resolve_machine(getattr(args, "machine", None))
+            plan = build_prune_plan(apps[0], _standard_space(machine))
+            with open(args.prune_plan, "w") as handle:
+                json.dump(plan.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(
+                f"Wrote prune plan to {args.prune_plan}: "
+                f"{plan.masked_count}/{plan.space_size} points masked "
+                f"({plan.masked_fraction():.0%}), trusted={plan.trusted}"
+            )
     else:
         print(
             "error: name a benchmark, or use --all / --source FILE",
@@ -397,6 +508,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if obs is not None:
+        _write_obs_artifacts(obs, args)
     document = None
     if args.json:
         document = report.as_dict()
@@ -414,6 +527,106 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(diag.format())
         print(report.summary())
     return report.exit_code
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    """Run one design-space exploration, optionally statically pruned.
+
+    ``socrates dse 2mm --prune`` builds the static prune plan (cost
+    oracle + flag safety) and explores only the unmasked lattice;
+    ``--prune-plan FILE`` loads a plan written by ``socrates check``.
+    ``--verify-front`` additionally runs the *unpruned* exploration in
+    a fresh engine and fails (exit 1) unless both seeded Pareto fronts
+    are bit-identical — the soundness gate CI runs.
+    """
+    import json
+
+    from repro.dse.explorer import DesignSpaceExplorer
+    from repro.dse.pareto import pareto_front
+    from repro.engine.core import EvaluationEngine
+    from repro.obs import Observability
+
+    app = _load_app(args.app)
+    machine = getattr(args, "machine", None)
+
+    def explore(plan):
+        obs = Observability()
+        engine = EvaluationEngine(machine=machine, obs=obs)
+        explorer = DesignSpaceExplorer(
+            engine.compiler,
+            engine.executor,
+            engine.omp,
+            repetitions=args.repetitions,
+            engine=engine,
+        )
+        profile = engine.profile(app)
+        space = _standard_space(engine.machine)
+        result = explorer.explore(
+            profile, space, seed=args.seed, prune_plan=plan
+        )
+        front = pareto_front(
+            result.knowledge, [("throughput", True), ("power", False)]
+        )
+        return engine, result, front, obs
+
+    plan = None
+    if getattr(args, "prune_plan", None):
+        from repro.analysis.cost import PrunePlan
+
+        with open(args.prune_plan) as handle:
+            plan = PrunePlan.from_dict(json.load(handle))
+        if plan.app != app.name:
+            print(
+                f"error: prune plan is for {plan.app!r}, not {app.name!r}",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.prune:
+        from repro.analysis.cost import build_prune_plan
+        from repro.machine.registry import resolve_machine
+
+        resolved = resolve_machine(machine)
+        plan = build_prune_plan(app, _standard_space(resolved), machine=resolved)
+
+    engine, result, front, obs = explore(plan)
+    counters = engine.counters
+    fronts_identical = None
+    if args.verify_front:
+        _, baseline_result, baseline_front, _ = explore(None)
+        fronts_identical = _pareto_keys(front) == _pareto_keys(baseline_front)
+
+    document = {
+        "app": app.name,
+        "seed": args.seed,
+        "repetitions": args.repetitions,
+        "space_size": result.space_size,
+        "points_evaluated": counters.points_evaluated,
+        "points_masked": counters.points_masked,
+        "pruned_points": result.pruned_points,
+        "prune_audit_records": len(obs.audit.prunes) if obs.audit is not None else 0,
+        "front_size": len(front),
+        "front": _pareto_keys(front),
+        "pruned": plan is not None,
+        "fronts_identical": fronts_identical,
+    }
+    _write_obs_artifacts(obs, args)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(
+            f"dse {app.name}: {counters.points_evaluated} evaluated, "
+            f"{counters.points_masked} masked "
+            f"({result.pruned_points}/{result.space_size} statically pruned), "
+            f"front size {len(front)}"
+        )
+        if fronts_identical is not None:
+            print(
+                "pruned and unpruned Pareto fronts are "
+                + ("bit-identical" if fronts_identical else "DIFFERENT")
+            )
+    if fronts_identical is False:
+        return 1
+    return 0
 
 
 def _fig5_scenario(args: argparse.Namespace, obs):
@@ -1622,7 +1835,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--sarif", action="store_true", help="emit a SARIF 2.1.0 document"
     )
     p.add_argument("--out", help="write the JSON/SARIF document to this file")
+    p.add_argument(
+        "--prune-plan",
+        metavar="FILE",
+        help="also build the static lattice prune plan and write it as JSON",
+    )
+    _add_machine_argument(p)
+    p.add_argument(
+        "--trace-out",
+        help="write analysis spans as Chrome trace_event JSON",
+    )
+    p.add_argument(
+        "--audit-out",
+        help="write per-diagnostic check records as JSONL",
+    )
+    p.add_argument(
+        "--metrics-out",
+        help="write socrates_check_diagnostics_total counters as Prometheus text",
+    )
     p.set_defaults(func=cmd_check)
+
+    p = subparsers.add_parser(
+        "dse",
+        help="one seeded design-space exploration, optionally statically pruned",
+    )
+    _add_app_argument(p)
+    _add_machine_argument(p)
+    p.add_argument(
+        "--prune",
+        action="store_true",
+        help="build the static prune plan and skip masked lattice points",
+    )
+    p.add_argument(
+        "--prune-plan",
+        metavar="FILE",
+        help="load a prune plan written by `socrates check --prune-plan`",
+    )
+    p.add_argument("--seed", type=lambda s: int(s, 0), default=0xD5E)
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument(
+        "--verify-front",
+        action="store_true",
+        help="also run unpruned and fail unless both Pareto fronts are bit-identical",
+    )
+    p.add_argument("--json", action="store_true", help="emit a JSON document")
+    p.add_argument(
+        "--trace-out",
+        help="write engine/DSE spans as Chrome trace_event JSON",
+    )
+    p.add_argument(
+        "--audit-out",
+        help="write the audit log (one record per pruned point) as JSONL",
+    )
+    p.add_argument(
+        "--metrics-out",
+        help="write engine counters as Prometheus text",
+    )
+    p.set_defaults(func=cmd_dse)
 
     p = subparsers.add_parser(
         "obs", help="observability: export and validate traces/metrics/audits"

@@ -53,6 +53,7 @@ class EngineCounters:
     truth_hits: int
     truth_misses: int
     points_evaluated: int
+    points_masked: int = 0
 
 
 class EvaluationEngine:
@@ -96,6 +97,10 @@ class EvaluationEngine:
             boundaries=DEFAULT_SIZE_BUCKETS,
             help="points per evaluate() batch",
         )
+        self._metric_masked = metrics.counter(
+            "socrates_engine_points_masked_total",
+            help="design points skipped by a static prune mask",
+        )
         self._compile_cache = CompileCache(self._compiler)
         self._profile_cache = ProfileCache()
         # model truths are pure functions of (kernel, placement): cache
@@ -105,6 +110,7 @@ class EvaluationEngine:
         self._truth_hits = 0
         self._truth_misses = 0
         self._points_evaluated = 0
+        self._points_masked = 0
 
     # -- shared components ---------------------------------------------------
 
@@ -174,6 +180,7 @@ class EvaluationEngine:
         points: Sequence[DesignPoint],
         repetitions: int = 1,
         noisy: bool = True,
+        mask: Optional[Sequence[bool]] = None,
     ) -> List[ProfiledSample]:
         """Measure ``points``, ``repetitions`` times each.
 
@@ -183,9 +190,19 @@ class EvaluationEngine:
         compute the noise-free truths.  ``noisy=False`` skips the
         noise draws entirely (iterative-compilation mode) and leaves
         the executor's stream untouched.
+
+        ``mask`` (aligned with ``points``; True = skip) implements
+        static pruning: masked points still consume their noise draws
+        — keeping every surviving sample bit-identical to an unmasked
+        run — but pay no compilation, no model evaluation, and return
+        no sample.  Only unmasked points count as evaluated.
         """
         if repetitions < 1:
             raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        if mask is not None and len(mask) != len(points):
+            raise ValueError(
+                f"mask length {len(mask)} != points length {len(points)}"
+            )
         with self._obs.tracer.span(
             "engine.evaluate",
             kernel=profile.kernel,
@@ -194,7 +211,7 @@ class EvaluationEngine:
             noisy=noisy,
             backend=self._backend.name,
         ):
-            return self._evaluate(profile, points, repetitions, noisy)
+            return self._evaluate(profile, points, repetitions, noisy, mask)
 
     def _evaluate(
         self,
@@ -202,9 +219,14 @@ class EvaluationEngine:
         points: Sequence[DesignPoint],
         repetitions: int,
         noisy: bool,
+        mask: Optional[Sequence[bool]] = None,
     ) -> List[ProfiledSample]:
+        if mask is None:
+            mask = [False] * len(points)
         kernels: Dict[str, CompiledKernel] = {}
-        for point in points:
+        for point, masked in zip(points, mask):
+            if masked:
+                continue
             label = point.compiler.label
             if label not in kernels:
                 kernels[label] = self.compile(profile, point.compiler)
@@ -212,6 +234,8 @@ class EvaluationEngine:
         # (point-major, repetition-minor, time then power) matches the
         # historical interleaved run() loop, keeping the stream state
         # bit-identical while paying only one model evaluation per point.
+        # Masked points draw too — the stream position of every
+        # surviving point must not depend on what was pruned.
         factor_blocks = (
             [self._executor.noise_factors(repetitions) for _ in points]
             if noisy
@@ -224,10 +248,14 @@ class EvaluationEngine:
                 point.binding.value,
                 point.cluster,
             )
-            for point in points
+            if not masked
+            else None
+            for point, masked in zip(points, mask)
         ]
         missing: Dict[Tuple[CompileKey, int, str, Optional[str]], WorkItem] = {}
         for point, key in zip(points, point_keys):
+            if key is None:
+                continue
             if key not in self._truth_cache and key not in missing:
                 missing[key] = (
                     kernels[point.compiler.label],
@@ -248,14 +276,19 @@ class EvaluationEngine:
                 )
             for key, truth in zip(missing, computed):
                 self._truth_cache[key] = truth
+        surviving = sum(1 for key in point_keys if key is not None)
+        masked_count = len(points) - surviving
         self._truth_misses += len(missing)
-        self._truth_hits += len(points) - len(missing)
+        self._truth_hits += surviving - len(missing)
         self._metric_truth_misses.inc(len(missing))
-        self._metric_truth_hits.inc(len(points) - len(missing))
+        self._metric_truth_hits.inc(surviving - len(missing))
         self._metric_batch.observe(len(points))
         samples: List[ProfiledSample] = []
         for index, point in enumerate(points):
-            time_truth, power_truth = self._truth_cache[point_keys[index]]
+            key = point_keys[index]
+            if key is None:
+                continue
+            time_truth, power_truth = self._truth_cache[key]
             if factor_blocks is not None:
                 block = factor_blocks[index]
                 times = [time_truth * time_factor for time_factor, _ in block]
@@ -264,8 +297,11 @@ class EvaluationEngine:
                 times = [time_truth] * repetitions
                 powers = [power_truth] * repetitions
             samples.append(ProfiledSample(point=point, times=times, powers=powers))
-        self._points_evaluated += len(points)
-        self._metric_points.inc(len(points))
+        self._points_evaluated += surviving
+        self._points_masked += masked_count
+        self._metric_points.inc(surviving)
+        if masked_count:
+            self._metric_masked.inc(masked_count)
         return samples
 
     # -- accounting -------------------------------------------------------------
@@ -280,6 +316,7 @@ class EvaluationEngine:
             truth_hits=self._truth_hits,
             truth_misses=self._truth_misses,
             points_evaluated=self._points_evaluated,
+            points_masked=self._points_masked,
         )
 
     def stats(self) -> Dict[str, object]:
@@ -297,4 +334,5 @@ class EvaluationEngine:
                 "entries": len(self._truth_cache),
             },
             "points_evaluated": self._points_evaluated,
+            "points_masked": self._points_masked,
         }

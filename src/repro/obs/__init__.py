@@ -53,6 +53,7 @@ from repro.obs.audit import (
     CandidateTrace,
     CheckTrace,
     ConstraintTrace,
+    PruneTrace,
     SloTrace,
     compose_reason,
     describe_rank,
@@ -141,6 +142,7 @@ __all__ = [
     "attribute_record",
     "FlameProfile",
     "ProfileNode",
+    "PruneTrace",
     "StackDiff",
     "WhatIfReport",
     "attribute_energy",

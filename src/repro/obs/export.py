@@ -177,14 +177,27 @@ def write_jsonl(
 
 
 def write_audit_jsonl(audit: AdaptationAuditLog, path: PathLike) -> int:
-    """Write only the adaptation audit entries as JSONL."""
+    """Write the audit log as JSONL; returns the number of lines.
+
+    Each line carries a ``type`` discriminator: ``adaptation`` for the
+    MAPE-K decisions, ``check`` for static-analysis diagnostics, and
+    ``prune`` for lattice points a :class:`PrunePlan` masked.
+    """
+    count = 0
     with open(path, "w") as handle:
         for entry in audit.entries:
             handle.write(
                 json.dumps({"type": "adaptation", **entry.as_dict()}, sort_keys=True)
                 + "\n"
             )
-    return len(audit)
+            count += 1
+        for record in audit.checks_as_dicts():
+            handle.write(json.dumps({"type": "check", **record}, sort_keys=True) + "\n")
+            count += 1
+        for record in audit.prunes_as_dicts():
+            handle.write(json.dumps({"type": "prune", **record}, sort_keys=True) + "\n")
+            count += 1
+    return count
 
 
 # -- Prometheus text exposition ----------------------------------------------

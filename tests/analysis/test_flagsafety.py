@@ -1,0 +1,165 @@
+"""Tests for the flag-safety rules FPS201-FPS204 and the verdict
+consumed by the prune plan and COBAYN corpus builder."""
+
+from repro.analysis.flagsafety import (
+    FlagSafetyVerdict,
+    check_unit_flag_safety,
+    flag_safety_verdict,
+    unsafe_config_labels,
+)
+from repro.cir import parse
+from repro.gcc.flags import Flag, standard_levels
+
+
+def _rules(diags):
+    return [d.rule for d in diags]
+
+
+_REDUCTION = """
+double A[100];
+double dot(void) {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 100; i++)
+    s = s + A[i] * A[i];
+  return s;
+}
+"""
+
+
+class TestFps201:
+    def test_fp_reduction_is_flagged(self):
+        diags = check_unit_flag_safety(parse(_REDUCTION), "dot.c")
+        assert _rules(diags) == ["FPS201"]
+        assert diags[0].function == "dot"
+        assert "suppress(FPS201)" in diags[0].hint
+
+    def test_streaming_update_is_not_a_reduction(self):
+        unit = parse(
+            """
+            double A[100];
+            void scale(void) {
+              int i;
+              for (i = 0; i < 100; i++)
+                A[i] = 2.0 * A[i];
+            }
+            """
+        )
+        assert check_unit_flag_safety(unit, "scale.c") == []
+
+
+class TestFps202:
+    def test_shifted_subscript_dependence_is_flagged(self):
+        unit = parse(
+            """
+            double A[100];
+            void shift(void) {
+              int i;
+              for (i = 1; i < 100; i++)
+                A[i] = A[i - 1] + 1.0;
+            }
+            """
+        )
+        assert "FPS202" in _rules(check_unit_flag_safety(unit, "shift.c"))
+
+
+class TestFps203:
+    def test_call_dense_loop_is_flagged(self):
+        unit = parse(
+            """
+            double A[100];
+            double f(double x) { return x + 1.0; }
+            void k(void) {
+              int i;
+              for (i = 0; i < 100; i++)
+                A[i] = f(A[i]);
+            }
+            """
+        )
+        diags = check_unit_flag_safety(unit, "k.c")
+        assert "FPS203" in _rules(diags)
+        verdict = flag_safety_verdict(unit, "k")
+        assert "NO_INLINE_FUNCTIONS" in verdict.pointless_flags
+
+    def test_external_calls_do_not_count(self):
+        unit = parse(
+            """
+            double A[100];
+            void k(void) {
+              int i;
+              for (i = 0; i < 100; i++)
+                A[i] = external_fn(A[i]);
+            }
+            """
+        )
+        assert "FPS203" not in _rules(check_unit_flag_safety(unit, "k.c"))
+
+
+class TestFps204:
+    _INTERPROC = """
+    double A[100];
+    double partial(void) {
+      int i;
+      double s = 0.0;
+      for (i = 0; i < 100; i++)
+        s = s + A[i];
+      return s;
+    }
+    double B[10];
+    void caller(void) {
+      int t;
+      for (t = 0; t < 10; t++)
+        B[t] = partial();
+    }
+    """
+
+    def test_caller_inherits_the_hazard(self):
+        diags = check_unit_flag_safety(parse(self._INTERPROC), "x.c")
+        by_function = {d.function: d.rule for d in diags}
+        assert by_function["partial"] == "FPS201"
+        assert by_function["caller"] == "FPS204"
+
+    def test_verdict_records_the_interprocedural_rule(self):
+        verdict = flag_safety_verdict(parse(self._INTERPROC), "caller")
+        assert "UNSAFE_MATH" in verdict.unsafe_flags
+        assert "FPS204" in verdict.rules
+
+
+class TestVerdict:
+    def test_clean_unit_has_empty_verdict(self):
+        unit = parse(
+            """
+            double A[10][10];
+            void k(void) {
+              int i;
+              int j;
+              for (i = 0; i < 10; i++)
+                for (j = 0; j < 10; j++)
+                  A[i][j] = i + j;
+            }
+            """
+        )
+        verdict = flag_safety_verdict(unit)
+        assert verdict == FlagSafetyVerdict((), (), ())
+        assert unsafe_config_labels(verdict, standard_levels()) == ()
+
+    def test_unsafe_labels_cover_fast_math_configs(self):
+        from repro.gcc.flags import cobayn_space
+
+        verdict = flag_safety_verdict(parse(_REDUCTION), "dot")
+        assert verdict.unsafe_flags == ("UNSAFE_MATH",)
+        # the standard levels carry no fast-math: nothing to exclude
+        assert unsafe_config_labels(verdict, standard_levels()) == ()
+        # half the COBAYN space does
+        labels = unsafe_config_labels(verdict, cobayn_space())
+        assert len(labels) == 64
+        for config in cobayn_space():
+            assert (config.label in labels) == config.has(Flag.UNSAFE_MATH)
+
+    def test_verdict_round_trips_through_dict(self):
+        verdict = flag_safety_verdict(parse(_REDUCTION), "dot")
+        assert FlagSafetyVerdict.from_dict(verdict.as_dict()) == verdict
+
+    def test_unknown_flag_names_are_ignored(self):
+        verdict = FlagSafetyVerdict(("NOT_A_FLAG",), (), ("FPS999",))
+        assert unsafe_config_labels(verdict, standard_levels()) == ()

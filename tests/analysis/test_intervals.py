@@ -1,0 +1,309 @@
+"""Tests for the interval abstract domain and the per-function
+interpreter: lattice laws (property-based), widening termination,
+soundness of abstract arithmetic vs. concrete evaluation, loop facts,
+and array footprints."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intervals import (
+    BOTTOM,
+    TOP,
+    Interval,
+    analyze_function,
+    array_footprints,
+    eval_interval,
+    join_envs,
+    loop_constant_facts,
+    trip_interval,
+    widen_envs,
+)
+from repro.cir import parse
+from repro.cir.analysis import collect_loops
+
+_bounds = st.integers(min_value=-40, max_value=40)
+_maybe_bound = st.one_of(st.none(), _bounds)
+# Interval() canonicalizes lo > hi to BOTTOM, so raw pairs are fine
+_intervals = st.one_of(
+    st.just(BOTTOM),
+    st.just(TOP),
+    st.builds(Interval, _maybe_bound, _maybe_bound),
+)
+
+
+def _member(data, interval):
+    """Draw one concrete member of a non-empty interval."""
+    lo = interval.lo if interval.lo is not None else -1000
+    hi = interval.hi if interval.hi is not None else 1000
+    return data.draw(st.integers(min_value=lo, max_value=hi))
+
+
+class TestLatticeLaws:
+    @given(a=_intervals, b=_intervals)
+    def test_join_commutes_and_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert joined == b.join(a)
+        assert joined.covers(a) and joined.covers(b)
+
+    @given(a=_intervals, b=_intervals)
+    def test_meet_commutes_and_is_lower_bound(self, a, b):
+        met = a.meet(b)
+        assert met == b.meet(a)
+        assert a.covers(met) and b.covers(met)
+
+    @given(a=_intervals, b=_intervals, c=_intervals)
+    def test_join_and_meet_associate(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+
+    @given(a=_intervals)
+    def test_idempotence_and_units(self, a):
+        assert a.join(a) == a and a.meet(a) == a
+        assert a.join(BOTTOM) == a and a.meet(TOP) == a
+        assert a.join(TOP) == TOP and a.meet(BOTTOM) == BOTTOM
+
+    @given(a=_intervals, b=_intervals)
+    def test_absorption(self, a, b):
+        assert a.join(a.meet(b)) == a
+        assert a.meet(a.join(b)) == a
+
+    @given(a=_intervals, b=_intervals)
+    def test_widen_is_upper_bound(self, a, b):
+        widened = a.widen(b)
+        assert widened.covers(a) and widened.covers(b)
+
+    @given(start=_intervals, chain=st.lists(_intervals, max_size=12))
+    def test_widening_terminates(self, start, chain):
+        """Iterated widening stabilizes after finitely many changes:
+        each bound can only jump to its infinity once, so the iterate
+        takes at most four distinct values over ANY input sequence."""
+        current = start
+        values = {current}
+        for newer in chain:
+            current = current.widen(newer)
+            values.add(current)
+        assert len(values) <= 4
+        # and the result is a post-fixpoint of every chain element
+        for newer in chain:
+            assert current.widen(newer).covers(current)
+
+
+class TestAbstractArithmeticSoundness:
+    @given(a=_intervals, b=_intervals, data=st.data())
+    @settings(max_examples=150)
+    def test_add_sub_mul_contain_concrete_results(self, a, b, data):
+        if a.empty or b.empty:
+            assert (a + b).empty and (a - b).empty and (a * b).empty
+            return
+        x = _member(data, a)
+        y = _member(data, b)
+        assert (a + b).contains(x + y)
+        assert (a - b).contains(x - y)
+        assert (a * b).contains(x * y)
+        assert (-a).contains(-x)
+
+    @given(a=_intervals, b=_intervals, data=st.data())
+    @settings(max_examples=150)
+    def test_div_mod_contain_concrete_results(self, a, b, data):
+        if a.empty or b.empty:
+            return
+        x = _member(data, a)
+        y = _member(data, b)
+        if y == 0:
+            return
+        # C semantics: truncation toward zero
+        quotient = abs(x) // abs(y)
+        if (x < 0) != (y < 0):
+            quotient = -quotient
+        assert a.div(b).contains(quotient)
+        remainder = x - quotient * y
+        assert a.mod(b).contains(remainder)
+
+    @given(a=_intervals, data=st.data())
+    def test_membership_respects_bounds(self, a, data):
+        if a.empty:
+            assert a.width == 0
+            return
+        assert a.contains(_member(data, a))
+
+
+class TestEvalInterval:
+    def _expr(self, text):
+        unit = parse(f"void f(void) {{ x = {text}; }}")
+        return unit.function("f").body.stmts[0].expr.rhs
+
+    def test_constant_folding(self):
+        assert eval_interval(self._expr("2 + 3 * 4"), {}) == Interval.const(14)
+
+    def test_variable_ranges_propagate(self):
+        env = {"i": Interval(0, 9), "n": Interval.const(10)}
+        assert eval_interval(self._expr("i + 1"), env) == Interval(1, 10)
+        assert eval_interval(self._expr("n - i"), env) == Interval(1, 10)
+        assert eval_interval(self._expr("2 * i"), env) == Interval(0, 18)
+
+    def test_unmodelled_shapes_go_to_top(self):
+        env = {"i": Interval(0, 9)}
+        assert eval_interval(self._expr("A[i]"), env).is_top
+        assert eval_interval(self._expr("f(i)"), env).is_top
+
+    def test_comparisons_are_boolean(self):
+        assert eval_interval(self._expr("i < 3"), {}) == Interval(0, 1)
+
+    def test_division_by_interval_containing_zero_is_top(self):
+        env = {"d": Interval(-1, 1)}
+        assert eval_interval(self._expr("10 / d"), env).is_top
+
+
+class TestFunctionAnalysis:
+    def test_locally_constant_bound_resolves_trip(self):
+        unit = parse(
+            """
+            void k(void) {
+              int i;
+              int n;
+              n = 32;
+              for (i = 0; i < n; i++)
+                ;
+            }
+            """
+        )
+        func = unit.function("k")
+        facts = analyze_function(func)
+        (loop,) = [info.node for info in collect_loops(func.body)]
+        loop_facts = facts.loops[id(loop)]
+        assert loop_facts.constants["n"] == 32
+        assert loop_facts.trip == Interval.const(32)
+        assert loop_facts.iv_range == Interval(0, 31)
+        assert facts.resolved
+
+    def test_loop_constant_facts_feed_trip_count(self):
+        unit = parse(
+            """
+            void k(void) {
+              int i;
+              int n;
+              n = 16;
+              for (i = 0; i < n; i++)
+                ;
+            }
+            """
+        )
+        func = unit.function("k")
+        facts = loop_constant_facts(func)
+        (info,) = collect_loops(func.body)
+        assert info.trip_count({}, facts[id(info.node)]) == 16
+
+    def test_data_dependent_bound_is_unresolved(self):
+        unit = parse(
+            """
+            double A[10];
+            void k(int n) {
+              int i;
+              for (i = 0; i < A[0]; i++)
+                ;
+            }
+            """
+        )
+        facts = analyze_function(unit.function("k"))
+        assert not facts.resolved
+
+    def test_branch_refinement_narrows_both_arms(self):
+        unit = parse(
+            """
+            void k(int n) {
+              int x;
+              x = 5;
+              if (n < 3)
+                x = n;
+            }
+            """
+        )
+        facts = analyze_function(unit.function("k"), {"n": 2})
+        assert facts.exit_env["x"] == Interval(2, 5)
+
+    def test_triangular_nest_trip_is_a_range(self):
+        unit = parse(
+            """
+            void k(void) {
+              int i;
+              int j;
+              for (i = 0; i < 8; i++)
+                for (j = i; j < 8; j++)
+                  ;
+            }
+            """
+        )
+        func = unit.function("k")
+        facts = analyze_function(func)
+        loops = collect_loops(func.body)
+        inner = next(info for info in loops if info.parent is not None)
+        trip = facts.loops[id(inner.node)].trip
+        # j runs 8-i times for i in [0, 7]: between 1 and 8 iterations
+        assert trip is not None
+        assert trip.contains(1) and trip.contains(8)
+
+    def test_trip_interval_handles_downward_loops(self):
+        unit = parse(
+            """
+            void k(void) {
+              int i;
+              for (i = 9; i >= 0; i--)
+                ;
+            }
+            """
+        )
+        func = unit.function("k")
+        (info,) = collect_loops(func.body)
+        assert trip_interval(info.node, {}) == Interval.const(10)
+
+
+class TestEnvOperations:
+    def test_join_envs_tops_out_one_sided_names(self):
+        a = {"x": Interval(0, 1), "y": Interval(3, 4)}
+        b = {"x": Interval(5, 6)}
+        joined = join_envs(a, b)
+        assert joined["x"] == Interval(0, 6)
+        assert "y" not in joined  # TOP entries are dropped
+
+    def test_widen_envs_jumps_grown_bounds(self):
+        older = {"x": Interval(0, 4)}
+        newer = {"x": Interval(0, 8)}
+        assert widen_envs(older, newer)["x"] == Interval(0, None)
+
+
+class TestArrayFootprints:
+    def test_footprints_follow_induction_ranges(self):
+        unit = parse(
+            """
+            double A[64][64];
+            void k(void) {
+              int i;
+              int j;
+              for (i = 0; i < 16; i++)
+                for (j = 0; j < 32; j++)
+                  A[i][j] = 1.0;
+            }
+            """
+        )
+        func = unit.function("k")
+        facts = analyze_function(func)
+        footprints = array_footprints(func.body, facts, declared={"A": (64, 64)})
+        assert footprints["A"].extents == (16, 32)
+        assert footprints["A"].element_count == 512
+        assert footprints["A"].bytes() == 4096.0
+
+    def test_unknown_extent_falls_back_to_declaration(self):
+        unit = parse(
+            """
+            double A[10];
+            void k(int n) {
+              int i;
+              for (i = 0; i < n; i++)
+                A[i] = 0.0;
+            }
+            """
+        )
+        func = unit.function("k")
+        facts = analyze_function(func)
+        footprints = array_footprints(func.body, facts, declared={"A": (10,)})
+        assert footprints["A"].extents == (10,)

@@ -37,7 +37,8 @@ class TestRaceRules:
             """,
             filename="race.c",
         )
-        assert _rules(diags) == ["OMP001"]
+        # the racy accumulation is also a flag-safety hazard (FPS201)
+        assert _rules(diags) == ["OMP001", "FPS201"]
         diag = diags[0]
         assert diag.severity is Severity.ERROR
         assert diag.function == "k"
@@ -71,7 +72,9 @@ class TestRaceRules:
             }
             """
         )
-        assert diags == []
+        # the reduction clause silences the race, but the FP reduction
+        # remains a fast-math hazard
+        assert _rules(diags) == ["FPS201"]
 
     def test_array_write_without_induction_subscript_is_omp002(self):
         diags = check_source_text(
@@ -125,13 +128,31 @@ class TestRaceRules:
               int i;
               i = 0;
               #pragma omp parallel for
-              for (; i < n; i++)
+              for (; i < n; )
                 n = n;
             }
             """
         )
-        # empty loop init defeats the induction analysis
+        # neither init nor step reveal the induction variable
         assert "OMP004" in _rules(diags)
+
+    def test_step_expression_recovers_induction(self):
+        # an empty init no longer defeats the analysis: the ++ step
+        # identifies the induction variable, so OMP004 stays quiet and
+        # the real classification (here: a clean loop) runs instead
+        diags = check_source_text(
+            """
+            double A[10];
+            void k(int n) {
+              int i;
+              i = 0;
+              #pragma omp parallel for
+              for (; i < n; i++)
+                A[i] = 1.0;
+            }
+            """
+        )
+        assert "OMP004" not in _rules(diags)
 
     def test_one_diagnostic_per_variable(self):
         diags = check_source_text(
@@ -147,7 +168,8 @@ class TestRaceRules:
             }
             """
         )
-        assert _rules(diags) == ["OMP001"]
+        # one OMP001 per variable; the loop itself is one FPS201
+        assert _rules(diags) == ["OMP001", "FPS201"]
 
 
 class TestSuppression:
@@ -172,16 +194,18 @@ class TestSuppression:
         assert parse_suppress_pragma("omp parallel for") is None
 
     def test_statement_suppression_covers_pragma_loop_pair(self):
-        src = self.RACY.format(suppress="#pragma socrates suppress(OMP001)")
+        src = self.RACY.format(
+            suppress="#pragma socrates suppress(OMP001, FPS201)"
+        )
         assert check_source_text(src) == []
 
     def test_wrong_rule_does_not_suppress(self):
         src = self.RACY.format(suppress="#pragma socrates suppress(OMP002)")
-        assert _rules(check_source_text(src)) == ["OMP001"]
+        assert _rules(check_source_text(src)) == ["OMP001", "FPS201"]
 
     def test_function_level_suppression(self):
         src = """
-        #pragma socrates suppress(OMP001)
+        #pragma socrates suppress(OMP001, FPS201)
         void k(int n) {
           int i;
           double s = 0.0;
@@ -191,6 +215,10 @@ class TestSuppression:
         }
         """
         assert check_source_text(src) == []
+
+    def test_fps_rule_suppressible_alone(self):
+        src = self.RACY.format(suppress="#pragma socrates suppress(FPS201)")
+        assert _rules(check_source_text(src)) == ["OMP001"]
 
     def test_collect_suppressions_finds_spans(self):
         src = self.RACY.format(suppress="#pragma socrates suppress(OMP001)")
@@ -260,8 +288,14 @@ class TestExitCodes:
         assert run["tool"]["driver"]["name"] == "socrates-check"
         assert run["results"][0]["ruleId"] == "OMP001"
         assert run["results"][0]["level"] == "error"
-        rule_meta = {r["id"] for r in run["tool"]["driver"]["rules"]}
-        assert rule_meta == {"OMP001"}
+        # the driver now carries the full catalogue, fired or not
+        from repro.analysis.rules import RULES
+
+        driver_rules = run["tool"]["driver"]["rules"]
+        assert [r["id"] for r in driver_rules] == sorted(RULES)
+        for result in run["results"]:
+            assert driver_rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            assert "socratesCheck/v1" in result["partialFingerprints"]
 
 
 class TestSuiteIsClean:

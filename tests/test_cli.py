@@ -324,13 +324,23 @@ class TestCheckCommand:
         assert document["version"] == "2.1.0"
         assert document["runs"][0]["results"][0]["ruleId"] == "OMP002"
 
-    def test_single_app_is_clean(self, capsys):
-        assert main(["check", "mvt"]) == 0
+    def test_single_app_has_no_errors(self, capsys):
+        # mvt's dot-product loops are flagged FPS201 (warnings), so the
+        # exit code is 2; what matters is the absence of errors
+        assert main(["check", "mvt"]) == 2
+        out = capsys.readouterr().out
+        assert "2 unit(s), 0 error(s), 2 warning(s)" in out
+        assert "FPS201" in out
+
+    def test_stencil_app_is_clean(self, capsys):
+        # jacobi-2d has no reductions, no dependences on the parallel
+        # axis, and no calls: every rule family stays quiet
+        assert main(["check", "jacobi-2d"]) == 0
         out = capsys.readouterr().out
         assert "2 unit(s), 0 error(s), 0 warning(s)" in out
 
     def test_app_pristine_only(self, capsys):
-        assert main(["check", "mvt", "--pristine-only"]) == 0
+        assert main(["check", "mvt", "--pristine-only"]) == 2
         assert "1 unit(s)" in capsys.readouterr().out
 
     def test_no_selection_is_an_error(self, capsys):
@@ -339,6 +349,86 @@ class TestCheckCommand:
 
     def test_unknown_app_fails(self, capsys):
         assert main(["check", "nope"]) == 2
+
+    def test_prune_plan_artifact(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        main(["check", "syr2k", "--prune-plan", str(plan_path)])
+        out = capsys.readouterr().out
+        assert "Wrote prune plan" in out
+        document = json.loads(plan_path.read_text())
+        assert document["format"] == 1
+        assert document["app"] == "syr2k"
+        assert document["trusted"] is True
+        assert document["masked"]
+
+    def test_prune_plan_rejects_all(self, tmp_path, capsys):
+        code = main(
+            ["check", "--all", "--prune-plan", str(tmp_path / "plan.json")]
+        )
+        assert code == 2
+        assert "prune-plan" in capsys.readouterr().err
+
+    def test_metrics_out_counts_diagnostics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "check.prom"
+        assert main(["check", "mvt", "--metrics-out", str(metrics_path)]) == 2
+        text = metrics_path.read_text()
+        assert 'socrates_check_diagnostics_total{rule="FPS201"} 2' in text
+
+    def test_audit_out_writes_check_records(self, tmp_path, capsys):
+        audit_path = tmp_path / "audit.jsonl"
+        assert main(["check", "mvt", "--audit-out", str(audit_path)]) == 2
+        records = [
+            json.loads(line) for line in audit_path.read_text().splitlines()
+        ]
+        assert len(records) == 2
+        assert all(r["type"] == "check" and r["rule"] == "FPS201" for r in records)
+
+
+class TestDseCommand:
+    def test_pruned_run_verifies_front(self, capsys):
+        code = main(["dse", "syr2k", "--prune", "--verify-front", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["fronts_identical"] is True
+        assert document["points_masked"] > 0
+        assert (
+            document["points_evaluated"] + document["points_masked"]
+            == document["space_size"]
+        )
+        assert document["prune_audit_records"] == document["points_masked"]
+
+    def test_unpruned_run(self, capsys):
+        assert main(["dse", "mvt"]) == 0
+        out = capsys.readouterr().out
+        assert "0 masked" in out
+
+    def test_plan_file_round_trip(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        main(["check", "syr2k", "--prune-plan", str(plan_path)])
+        capsys.readouterr()
+        code = main(
+            ["dse", "syr2k", "--prune-plan", str(plan_path), "--verify-front"]
+        )
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_plan_for_wrong_app_is_rejected(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        main(["check", "syr2k", "--prune-plan", str(plan_path)])
+        capsys.readouterr()
+        assert main(["dse", "mvt", "--prune-plan", str(plan_path)]) == 2
+        assert "prune plan is for" in capsys.readouterr().err
+
+    def test_audit_out_writes_prune_records(self, tmp_path, capsys):
+        audit_path = tmp_path / "audit.jsonl"
+        assert main(
+            ["dse", "syr2k", "--prune", "--audit-out", str(audit_path)]
+        ) == 0
+        records = [
+            json.loads(line) for line in audit_path.read_text().splitlines()
+        ]
+        assert records
+        assert all(r["type"] == "prune" and r["rule"] == "COST001" for r in records)
 
 
 class TestProfilesAndLoocv:

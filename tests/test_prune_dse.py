@@ -1,0 +1,137 @@
+"""End-to-end soundness of statically pruned design-space exploration.
+
+The PR-level contract: for every registry app, exploring the standard
+256-point lattice with the static prune plan produces a seeded Pareto
+front *bit-identical* to the unpruned one — same knob keys, same
+metric means and standard deviations — while the engine evaluates
+fewer points (at least 25% fewer on several apps), and every masked
+point leaves exactly one audit record.
+"""
+
+import pytest
+
+from repro.analysis.cost import build_prune_plan
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.pareto import pareto_front
+from repro.engine.core import EvaluationEngine
+from repro.engine.model import DesignSpace
+from repro.gcc.flags import standard_levels
+from repro.obs import Observability
+from repro.polybench.suite import BENCHMARK_NAMES, load
+
+_SEED = 0xD5E
+_REPS = 3
+_OBJECTIVES = [("throughput", True), ("power", False)]
+
+
+def _space(machine):
+    return DesignSpace(
+        compiler_configs=standard_levels(),
+        thread_counts=list(range(1, machine.logical_cpus + 1)),
+    )
+
+
+def _front_key(front):
+    return [
+        (
+            tuple(sorted(op.knobs.items())),
+            tuple(
+                (name, stats.mean, stats.std)
+                for name, stats in sorted(op.metrics.items())
+            ),
+        )
+        for op in front
+    ]
+
+
+def _explore(app, plan):
+    """One exploration in a fresh engine (its own seeded noise stream)."""
+    obs = Observability()
+    engine = EvaluationEngine(obs=obs)
+    explorer = DesignSpaceExplorer(
+        engine.compiler,
+        engine.executor,
+        engine.omp,
+        repetitions=_REPS,
+        engine=engine,
+    )
+    profile = engine.profile(app)
+    result = explorer.explore(profile, _space(engine.machine), seed=_SEED, prune_plan=plan)
+    return engine, obs, result, pareto_front(result.knowledge, _OBJECTIVES)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    """Full-vs-pruned exploration of every registry app, computed once."""
+    computed = {}
+    for name in BENCHMARK_NAMES:
+        app = load(name)
+        full_engine, _, full, full_front = _explore(app, None)
+        plan = build_prune_plan(
+            app, _space(full_engine.machine), machine=full_engine.machine
+        )
+        engine, obs, pruned, pruned_front = _explore(app, plan)
+        computed[name] = {
+            "plan": plan,
+            "full_front": _front_key(full_front),
+            "pruned_front": _front_key(pruned_front),
+            "full_counters": full_engine.counters,
+            "counters": engine.counters,
+            "pruned_points": pruned.pruned_points,
+            "space_size": pruned.space_size,
+            "prune_traces": obs.audit.prunes if obs.audit is not None else [],
+        }
+    return computed
+
+
+class TestFrontSoundness:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_pruned_front_is_bit_identical(self, outcomes, name):
+        outcome = outcomes[name]
+        assert outcome["pruned_front"] == outcome["full_front"]
+        assert outcome["pruned_front"]  # a front exists at all
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_masked_points_are_skipped_not_reshuffled(self, outcomes, name):
+        outcome = outcomes[name]
+        counters = outcome["counters"]
+        assert counters.points_masked == outcome["pruned_points"]
+        assert (
+            counters.points_evaluated + counters.points_masked
+            == outcome["space_size"]
+        )
+        assert outcome["full_counters"].points_evaluated == outcome["space_size"]
+        assert outcome["full_counters"].points_masked == 0
+
+
+class TestSavings:
+    def test_at_least_three_apps_save_a_quarter_of_the_lattice(self, outcomes):
+        savings = {
+            name: outcome["pruned_points"] / outcome["space_size"]
+            for name, outcome in outcomes.items()
+        }
+        big = [name for name, fraction in savings.items() if fraction >= 0.25]
+        assert len(big) >= 3, savings
+
+    def test_untrusted_oracle_never_masks(self, outcomes):
+        # nussinov's loop bounds are data-dependent: the oracle is
+        # untrusted there and the plan must stay empty rather than risk
+        # an unsound mask
+        outcome = outcomes["nussinov"]
+        assert not outcome["plan"].trusted
+        assert outcome["pruned_points"] == 0
+
+
+class TestAuditTrail:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_one_audit_record_per_masked_point(self, outcomes, name):
+        outcome = outcomes[name]
+        traces = outcome["prune_traces"]
+        assert len(traces) == outcome["pruned_points"]
+        keys = {trace.point for trace in traces}
+        assert keys == set(outcome["plan"].masked)
+        for trace in traces:
+            assert trace.rule == "COST001"
+            assert trace.dominated_by
+            assert trace.predicted_time_s > 0
+            assert trace.predicted_power_w > 0

@@ -22,11 +22,17 @@ CLI: ``socrates bench list / run / compare / gate``.
 
 from repro.bench.baseline import (
     SCHEMA,
+    BaselineError,
+    BaselineFormatError,
+    BaselineNotFoundError,
+    BaselineSchemaError,
     BenchBaseline,
     StackBaseline,
     StageBaseline,
     baseline_filename,
     load_baseline,
+    load_baselines,
+    load_scenario_baseline,
     save_baseline,
 )
 from repro.bench.gate import (
@@ -58,6 +64,10 @@ __all__ = [
     "DEFAULT_MIN_DELTA_S",
     "DEFAULT_THRESHOLD",
     "AlertOverheadProbe",
+    "BaselineError",
+    "BaselineFormatError",
+    "BaselineNotFoundError",
+    "BaselineSchemaError",
     "BenchBaseline",
     "BenchScenario",
     "EnergyVerdict",
@@ -74,6 +84,8 @@ __all__ = [
     "compare_result",
     "get_scenario",
     "load_baseline",
+    "load_baselines",
+    "load_scenario_baseline",
     "mad",
     "median",
     "peak_rss_kb",

@@ -188,6 +188,26 @@ class SocratesToolflow:
     def obs(self) -> Observability:
         return self._obs
 
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def run_identity(self) -> Dict[str, object]:
+        """The toolflow's contribution to a warehouse run identity.
+
+        Everything here is a knob that changes what the pipeline
+        computes — never a timestamp or a path — so it can be hashed
+        into a deterministic run id (see :mod:`repro.obs.store`).
+        """
+        return {
+            "machine": self._machine.name,
+            "seed": self._seed,
+            "dse_repetitions": self._dse_repetitions,
+            "cobayn_k": self._cobayn_k,
+            "thread_counts": list(self._thread_counts),
+            "pareto_prune": self._pareto_prune,
+        }
+
     # -- pipeline ----------------------------------------------------------------
 
     def build(

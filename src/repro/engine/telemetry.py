@@ -98,7 +98,12 @@ class TelemetryRecorder:
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
         before = self._engine.counters
-        start = time.perf_counter()
+        # Time stages on the tracer's clock so a virtual clock (the
+        # telemetry warehouse's determinism device) governs stage wall
+        # times and the duration histogram too, not just spans.  The
+        # no-op tracer carries no clock; fall back to the real one.
+        clock = getattr(self._tracer, "_clock", time.perf_counter)
+        start = clock()
         ok = True
         span = None
         try:
@@ -108,7 +113,7 @@ class TelemetryRecorder:
             ok = False
             raise
         finally:
-            wall = time.perf_counter() - start
+            wall = clock() - start
             after = self._engine.counters
             # The span that landed in this bucket becomes the bucket's
             # OpenMetrics exemplar (span is None under NULL_TRACER).

@@ -97,8 +97,24 @@ from repro.obs.profile import (
     total_virtual_s,
     whatif,
 )
+from repro.obs.provenance import ProvenanceEdge, ProvenanceGraph
+from repro.obs.store import (
+    RUN_SCHEMA,
+    ArtifactBlob,
+    SlowdownTracer,
+    TelemetryStore,
+    VirtualClock,
+    canonical_json,
+    parse_slowdowns,
+    recording_observability,
+    run_id_for,
+)
 from repro.obs.stream import NULL_BUS, NullTelemetryBus, StreamEvent, TelemetryBus
 from repro.obs.tracing import MAIN_TRACK, NULL_TRACER, NullTracer, Span, Tracer
+
+# NOTE: repro.obs.trend is intentionally not imported here — it pulls
+# in repro.bench, whose scenarios import repro.obs, and a top-level
+# import would make that cycle real.  Import it as repro.obs.trend.
 
 __all__ = [
     "AdaptationAuditLog",
@@ -134,12 +150,20 @@ __all__ = [
     "NullTelemetryBus",
     "NullTracer",
     "Observability",
+    "ProvenanceEdge",
+    "ProvenanceGraph",
+    "RUN_SCHEMA",
+    "ArtifactBlob",
     "SloTrace",
+    "SlowdownTracer",
     "Span",
     "StreamEvent",
     "TelemetryBus",
+    "TelemetryStore",
     "Tracer",
+    "VirtualClock",
     "attribute_record",
+    "canonical_json",
     "FlameProfile",
     "ProfileNode",
     "PruneTrace",
@@ -154,9 +178,12 @@ __all__ = [
     "diff_flame",
     "latency_slos_from_baselines",
     "load_chrome_trace",
+    "parse_slowdowns",
     "profile_vs_baseline",
+    "recording_observability",
     "render_svg",
     "rescale_tree",
+    "run_id_for",
     "total_virtual_s",
     "whatif",
 ]

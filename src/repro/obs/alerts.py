@@ -314,14 +314,14 @@ def latency_slos_from_baselines(
     cover the same span name the loosest limit wins, since the SLO
     must hold across every workload that produces the span.
     """
-    from repro.bench.baseline import load_baseline
+    from repro.bench.baseline import BaselineNotFoundError, load_baselines
 
-    directory = Path(baseline_dir)
-    if not directory.is_dir():
-        raise ValueError(f"{baseline_dir}: not a baseline directory")
+    try:
+        baselines = load_baselines(baseline_dir)
+    except BaselineNotFoundError:
+        raise ValueError(f"{baseline_dir}: not a baseline directory") from None
     limits: Dict[str, float] = {}
-    for path in sorted(directory.glob("BENCH_*.json")):
-        baseline = load_baseline(path)
+    for baseline in baselines.values():
         for name, stage in baseline.stages.items():
             if not stage.count:
                 continue

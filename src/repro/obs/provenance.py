@@ -1,0 +1,179 @@
+"""Provenance graph over telemetry-warehouse run records.
+
+Every run record carries an edge set (``source:<sha>`` → ``run:<id>``
+→ ``artifact:<sha>`` plus artifact-to-artifact derivations such as
+trace → folded stacks).  This module assembles those per-run edge
+lists into one DAG and answers lineage questions in both directions:
+*what produced this artifact* (ancestors) and *what was derived from
+it* (descendants).  ``socrates obs lineage`` renders the answer as an
+ASCII tree or the canonical one-line JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class ProvenanceEdge:
+    src: str
+    dst: str
+    relation: str
+
+
+@dataclass
+class ProvenanceGraph:
+    """A directed graph of ``source:``/``run:``/``artifact:`` nodes."""
+
+    edges: List[ProvenanceEdge] = field(default_factory=list)
+    #: Human labels per node id, e.g. artifact file names.
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_runs(cls, records: Sequence[Mapping[str, object]]) -> "ProvenanceGraph":
+        graph = cls()
+        seen: Set[Tuple[str, str, str]] = set()
+        for record in records:
+            run_id = str(record.get("run_id", ""))
+            parts = [str(record.get(key) or "") for key in ("kind", "app", "scenario")]
+            graph.labels[f"run:{run_id}"] = " ".join(part for part in parts if part)
+            for entry in record.get("artifacts", ()):  # type: ignore[union-attr]
+                graph.labels.setdefault(
+                    f"artifact:{entry['sha256']}", str(entry["name"])  # type: ignore[index]
+                )
+            source = str(record.get("source") or "")
+            if source:
+                graph.labels.setdefault(f"source:{source}", "app source")
+            for edge in record.get("edges", ()):  # type: ignore[union-attr]
+                key = (str(edge["src"]), str(edge["dst"]), str(edge["relation"]))  # type: ignore[index]
+                if key not in seen:
+                    seen.add(key)
+                    graph.edges.append(ProvenanceEdge(*key))
+        return graph
+
+    # -- lookup ----------------------------------------------------------------
+
+    def nodes(self) -> List[str]:
+        names: Set[str] = set(self.labels)
+        for edge in self.edges:
+            names.add(edge.src)
+            names.add(edge.dst)
+        return sorted(names)
+
+    def resolve(self, ref: str) -> str:
+        """A full node id from a prefixed or bare, possibly truncated ref.
+
+        Accepts ``run:<id>``/``artifact:<sha>``/``source:<sha>`` forms
+        or a bare hash prefix matched against every node kind.
+        """
+        nodes = self.nodes()
+        if ref in nodes:
+            return ref
+        if ":" in ref:
+            prefix = ref
+            matches = [node for node in nodes if node.startswith(prefix)]
+        else:
+            matches = [
+                node
+                for node in nodes
+                if node.split(":", 1)[1].startswith(ref)
+            ]
+        if not matches:
+            raise ValueError(f"no provenance node matches {ref!r}")
+        if len(matches) > 1:
+            raise ValueError(
+                f"reference {ref!r} is ambiguous: {', '.join(matches[:6])}"
+            )
+        return matches[0]
+
+    # -- traversal -------------------------------------------------------------
+
+    def _walk(self, start: str, forward: bool) -> List[ProvenanceEdge]:
+        """BFS edge set reachable from ``start`` in one direction."""
+        by_node: Dict[str, List[ProvenanceEdge]] = {}
+        for edge in self.edges:
+            by_node.setdefault(edge.src if forward else edge.dst, []).append(edge)
+        visited: Set[str] = {start}
+        frontier = [start]
+        reached: List[ProvenanceEdge] = []
+        while frontier:
+            node = frontier.pop(0)
+            for edge in by_node.get(node, ()):
+                reached.append(edge)
+                nxt = edge.dst if forward else edge.src
+                if nxt not in visited:
+                    visited.add(nxt)
+                    frontier.append(nxt)
+        return reached
+
+    def descendants(self, node: str) -> List[ProvenanceEdge]:
+        return self._walk(node, forward=True)
+
+    def ancestors(self, node: str) -> List[ProvenanceEdge]:
+        return self._walk(node, forward=False)
+
+    # -- rendering -------------------------------------------------------------
+
+    def _label(self, node: str) -> str:
+        label = self.labels.get(node)
+        kind, _, ident = node.partition(":")
+        short = ident[:16]
+        return f"{kind}:{short} ({label})" if label else f"{kind}:{short}"
+
+    def _tree_lines(
+        self,
+        node: str,
+        by_src: Dict[str, List[ProvenanceEdge]],
+        indent: str,
+        seen: Set[str],
+    ) -> List[str]:
+        lines: List[str] = []
+        children = sorted(
+            by_src.get(node, ()), key=lambda edge: (edge.relation, edge.dst)
+        )
+        for index, edge in enumerate(children):
+            last = index == len(children) - 1
+            branch = "`-- " if last else "|-- "
+            lines.append(f"{indent}{branch}[{edge.relation}] {self._label(edge.dst)}")
+            if edge.dst in seen:
+                continue
+            seen.add(edge.dst)
+            lines.extend(
+                self._tree_lines(
+                    edge.dst, by_src, indent + ("    " if last else "|   "), seen
+                )
+            )
+        return lines
+
+    def ascii_tree(self, node: str) -> str:
+        """Downstream lineage of ``node`` as an ASCII tree, preceded by
+        its upstream chain (one line per ancestor edge)."""
+        lines: List[str] = []
+        up = self.ancestors(node)
+        for edge in sorted(up, key=lambda e: (e.src, e.relation)):
+            lines.append(
+                f"{self._label(edge.src)} --[{edge.relation}]--> {self._label(edge.dst)}"
+            )
+        if up:
+            lines.append("")
+        lines.append(self._label(node))
+        by_src: Dict[str, List[ProvenanceEdge]] = {}
+        for edge in self.edges:
+            by_src.setdefault(edge.src, []).append(edge)
+        lines.extend(self._tree_lines(node, by_src, "", {node}))
+        return "\n".join(lines)
+
+    def lineage_dict(self, node: str) -> Dict[str, object]:
+        return {
+            "node": node,
+            "label": self.labels.get(node, ""),
+            "ancestors": [
+                {"src": e.src, "dst": e.dst, "relation": e.relation}
+                for e in sorted(self.ancestors(node), key=lambda e: (e.src, e.dst))
+            ],
+            "descendants": [
+                {"src": e.src, "dst": e.dst, "relation": e.relation}
+                for e in sorted(self.descendants(node), key=lambda e: (e.src, e.dst))
+            ],
+        }

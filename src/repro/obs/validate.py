@@ -419,11 +419,40 @@ def validate_incident(path: PathLike) -> Dict[str, object]:
     }
 
 
+def validate_run_record_file(path: PathLike) -> Dict[str, object]:
+    """Validate a ``socrates-run/1`` telemetry-warehouse run record.
+
+    Delegates to :func:`repro.obs.store.validate_run_record`, which
+    recomputes the run id from the identity fields — a hand-edited
+    record fails loudly.
+    """
+    from repro.obs.store import validate_run_record
+
+    try:
+        document = json.loads(_read_text(path))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from None
+    return validate_run_record(document, label=str(path))
+
+
+def validate_bench_baseline(path: PathLike) -> Dict[str, object]:
+    """Validate a ``socrates-bench/1`` baseline / stored bench report."""
+    from repro.bench.baseline import load_baseline
+
+    baseline = load_baseline(path)
+    return {
+        "scenario": baseline.scenario,
+        "repeats": baseline.repeats,
+        "stages": len(baseline.stages),
+        "stacks": len(baseline.stacks),
+    }
+
+
 def validate_file(path: PathLike) -> Dict[str, object]:
     """Dispatch on file suffix: .json → Chrome trace, energy ledger,
-    incident bundle or flame profile (sniffed on content), .jsonl →
-    event stream, .prom/.txt → Prometheus text, .folded → folded
-    flame-graph stacks."""
+    incident bundle, flame profile, bench baseline or warehouse run
+    record (sniffed on content), .jsonl → event stream, .prom/.txt →
+    Prometheus text, .folded → folded flame-graph stacks."""
     suffix = Path(path).suffix.lower()
     if suffix == ".jsonl":
         return validate_events_jsonl(path)
@@ -432,9 +461,11 @@ def validate_file(path: PathLike) -> Dict[str, object]:
 
         return validate_folded_text(path)
     if suffix == ".json":
+        from repro.bench.baseline import SCHEMA as BENCH_SCHEMA
         from repro.obs.energy import LEDGER_SCHEMA
         from repro.obs.flight import INCIDENT_SCHEMA
         from repro.obs.profile import PROFILE_SCHEMA, validate_profile_json
+        from repro.obs.store import RUN_SCHEMA
 
         try:
             document = json.loads(_read_text(path))
@@ -446,6 +477,10 @@ def validate_file(path: PathLike) -> Dict[str, object]:
             return validate_incident(path)
         if isinstance(document, dict) and document.get("schema") == PROFILE_SCHEMA:
             return validate_profile_json(path)
+        if isinstance(document, dict) and document.get("schema") == BENCH_SCHEMA:
+            return validate_bench_baseline(path)
+        if isinstance(document, dict) and document.get("schema") == RUN_SCHEMA:
+            return validate_run_record_file(path)
         return validate_chrome_trace(path)
     if suffix in (".prom", ".txt"):
         return validate_prometheus_text(path)
@@ -453,3 +488,32 @@ def validate_file(path: PathLike) -> Dict[str, object]:
         f"{path}: cannot infer artifact kind from suffix {suffix!r} "
         "(expected .json, .jsonl, .prom, .txt or .folded)"
     )
+
+
+#: Suffixes :func:`validate_file` can dispatch; anything else inside a
+#: directory walk is counted as skipped rather than failing the run.
+VALIDATABLE_SUFFIXES = (".json", ".jsonl", ".prom", ".txt", ".folded")
+
+
+def validate_tree(root: PathLike) -> Tuple[List[Tuple[Path, Dict[str, object]]], int]:
+    """Recursively validate every known artifact under ``root``.
+
+    Returns ``(validated, skipped)`` where ``validated`` is a list of
+    ``(path, summary)`` pairs in sorted order and ``skipped`` counts
+    files whose suffix no validator claims (a store's journal and pin
+    markers, editor droppings, ...).  Raises :class:`ValueError` on
+    the first malformed artifact — a directory is checked as a unit.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        raise ValueError(f"{root}: not a directory")
+    validated: List[Tuple[Path, Dict[str, object]]] = []
+    skipped = 0
+    for path in sorted(base.rglob("*")):
+        if not path.is_file():
+            continue
+        if path.suffix.lower() not in VALIDATABLE_SUFFIXES:
+            skipped += 1
+            continue
+        validated.append((path, validate_file(path)))
+    return validated, skipped

@@ -46,6 +46,27 @@ class TestParser:
             ["obs", "incidents", "show", "inc-abc", "--dir", "x"],
             ["obs", "incidents", "report", "--latest"],
             ["obs", "incidents", "report", "inc-abc"],
+            ["obs", "runs", "record", "build", "2mm", "--store", "wh"],
+            ["obs", "runs", "record", "bench", "single_build", "--store", "wh",
+             "--label", "r1", "--inject-slowdown", "engine.evaluate:2.0"],
+            ["obs", "runs", "record", "trace", "mvt", "--store", "wh",
+             "--duration", "3", "--json"],
+            ["obs", "runs", "record", "dse", "mvt", "--store", "wh",
+             "--seed", "0xBEEF", "--machine", "biglittle_8p8e"],
+            ["obs", "runs", "list", "--store", "wh", "--json"],
+            ["obs", "runs", "show", "abc123", "--store", "wh"],
+            ["obs", "runs", "pin", "abc123", "--store", "wh"],
+            ["obs", "runs", "unpin", "abc123", "--store", "wh"],
+            ["obs", "runs", "gc", "--store", "wh", "--keep", "3", "--dry-run"],
+            ["obs", "lineage", "run:abc123", "--store", "wh", "--json"],
+            ["obs", "query", "kind=bench and seed=0", "--store", "wh",
+             "--agg", "median:wall_s"],
+            ["obs", "trend", "single_build", "--store", "wh", "--window", "5",
+             "--threshold", "0.2", "--json"],
+            ["build", "2mm", "--store", "wh", "--store-label", "x"],
+            ["dse", "mvt", "--store", "wh"],
+            ["bench", "run", "--scenario", "single_build", "--store", "wh"],
+            ["bench", "gate", "--history-store", "wh", "--history-window", "4"],
             ["check", "2mm"],
             ["check", "--all", "--json", "--out", "check.json"],
             ["check", "--all", "--sarif"],
